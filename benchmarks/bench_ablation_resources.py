@@ -1,0 +1,77 @@
+"""Ablation — virtual channels vs. parallel physical links.
+
+Section 1 of the paper: the method "adds virtual channels (VCs) minimally
+to remove deadlocks (please note that is also possible to add physical
+channels if the NoC architecture does not support VCs)".  This benchmark
+quantifies the price of the physical-channel option: the same dependencies
+get broken (same number of added channels), but each physical channel brings
+extra switch ports, so area and power grow more than with VCs.
+"""
+
+from __future__ import annotations
+
+from conftest import banner, save_results
+
+from repro.analysis.metrics import format_table
+from repro.benchmarks.registry import get_benchmark
+from repro.core.removal import remove_deadlocks
+from repro.power.estimator import estimate_area, estimate_power
+from repro.synthesis.builder import SynthesisConfig, synthesize_design
+
+CONFIGS = [("D36_6", 14), ("D36_8", 14), ("D36_8", 22)]
+
+
+def test_virtual_vs_physical_channels(benchmark):
+    """Compare the two resource modes on the cyclic benchmark designs."""
+    def run():
+        rows = []
+        for name, switches in CONFIGS:
+            traffic = get_benchmark(name)
+            design = synthesize_design(traffic, SynthesisConfig(n_switches=switches))
+            virtual = remove_deadlocks(design)
+            physical = remove_deadlocks(design, resource_mode="physical")
+            rows.append(
+                {
+                    "design": f"{name}@{switches}sw",
+                    "channels_added": virtual.added_vc_count,
+                    "virtual_area_mm2": estimate_area(virtual.design).total_area_mm2,
+                    "physical_area_mm2": estimate_area(physical.design).total_area_mm2,
+                    "virtual_power_mw": estimate_power(virtual.design).total_power_mw,
+                    "physical_power_mw": estimate_power(physical.design).total_power_mw,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print(banner("Ablation — extra VCs vs. parallel physical links"))
+    table_rows = []
+    for r in rows:
+        area_penalty = (r["physical_area_mm2"] / r["virtual_area_mm2"] - 1) * 100
+        power_penalty = (r["physical_power_mw"] / r["virtual_power_mw"] - 1) * 100
+        table_rows.append(
+            [
+                r["design"],
+                r["channels_added"],
+                round(r["virtual_area_mm2"], 3),
+                round(r["physical_area_mm2"], 3),
+                round(area_penalty, 2),
+                round(power_penalty, 2),
+            ]
+        )
+    print(
+        format_table(
+            [
+                "design",
+                "channels added",
+                "area w/ VCs [mm^2]",
+                "area w/ links [mm^2]",
+                "area penalty [%]",
+                "power penalty [%]",
+            ],
+            table_rows,
+        )
+    )
+    save_results("ablation_virtual_vs_physical", rows)
+    for r in rows:
+        assert r["physical_area_mm2"] >= r["virtual_area_mm2"]
+        assert r["physical_power_mw"] >= r["virtual_power_mw"]

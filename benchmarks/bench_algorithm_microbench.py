@@ -1,0 +1,70 @@
+"""Microbenchmarks of the algorithm's building blocks on a realistic design.
+
+These are classic pytest-benchmark timings (multiple rounds) of the hot
+paths: CDG construction, smallest-cycle search, cost-table evaluation and a
+full removal pass, all on the 14-switch D36_8 design whose CDG contains
+cycles.  They document where the runtime of the end-to-end flow goes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.cdg import build_cdg
+from repro.core.cost import build_cost_table
+from repro.core.cycles import find_smallest_cycle
+from repro.core.removal import remove_deadlocks
+from repro.routing.ordering import apply_resource_ordering
+from repro.synthesis.builder import SynthesisConfig, synthesize_design
+
+
+@pytest.fixture(scope="module")
+def cyclic_design():
+    traffic = get_benchmark("D36_8")
+    return synthesize_design(traffic, SynthesisConfig(n_switches=14))
+
+
+def test_cdg_construction(benchmark, cyclic_design):
+    """Build the CDG of the 14-switch D36_8 design."""
+    cdg = benchmark(build_cdg, cyclic_design)
+    assert cdg.channel_count > 0
+
+
+def test_smallest_cycle_search(benchmark, cyclic_design):
+    """BFS smallest-cycle search over the full CDG."""
+    cdg = build_cdg(cyclic_design)
+    cycle = benchmark(find_smallest_cycle, cdg)
+    assert cycle
+
+
+def test_cost_table_evaluation(benchmark, cyclic_design):
+    """Forward cost table for the smallest cycle of the design."""
+    cdg = build_cdg(cyclic_design)
+    cycle = find_smallest_cycle(cdg)
+    table = benchmark(build_cost_table, cycle, cyclic_design.routes, "forward")
+    assert table.best_cost >= 1
+
+
+def test_full_removal(benchmark, cyclic_design):
+    """Complete Algorithm 1 run (copying the design each round)."""
+    result = benchmark(remove_deadlocks, cyclic_design)
+    assert result.added_vc_count >= 1
+
+
+def test_resource_ordering_baseline(benchmark, cyclic_design):
+    """The resource-ordering baseline on the same design."""
+    result = benchmark(apply_resource_ordering, cyclic_design)
+    assert result.extra_vcs > 0
+
+
+def test_topology_synthesis(benchmark):
+    """Synthesis of the 14-switch D36_8 design (the substrate cost)."""
+    traffic = get_benchmark("D36_8")
+    design = benchmark.pedantic(
+        synthesize_design,
+        args=(traffic, SynthesisConfig(n_switches=14)),
+        rounds=3,
+        iterations=1,
+    )
+    assert design.topology.switch_count == 14

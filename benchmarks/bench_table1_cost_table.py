@@ -1,0 +1,69 @@
+"""Table 1 + the worked example of Figures 1-7.
+
+Regenerates the forward-direction cost table of the paper's 4-switch ring
+example and verifies the removal needs exactly one extra virtual channel,
+then times the individual algorithm steps on that example (CDG build,
+smallest-cycle search, cost table, full removal).
+"""
+
+from __future__ import annotations
+
+from conftest import banner, save_results
+
+from repro.core.cdg import build_cdg
+from repro.core.cost import build_cost_table
+from repro.core.cycles import find_smallest_cycle
+from repro.core.removal import remove_deadlocks
+from repro.examples_data.paper_ring import (
+    paper_ring_cycle,
+    paper_ring_design,
+    paper_ring_expected_cost_table,
+)
+
+
+def test_table1_forward_cost_table(benchmark):
+    """Regenerate Table 1 and check it matches the paper exactly."""
+    design = paper_ring_design()
+    cycle = paper_ring_cycle()
+
+    table = benchmark(build_cost_table, cycle, design.routes, "forward")
+
+    expected = paper_ring_expected_cost_table()
+    rows = {flow: list(table.entries[flow]) for flow in table.flow_names}
+    rows["MAX"] = list(table.max_costs)
+    print(banner("Table 1 — cost table in the forward direction (paper ring example)"))
+    print(table.to_text())
+    print("\npaper values  :", {k: v for k, v in expected.items()})
+    print("reproduced    :", rows)
+    assert rows == expected, "cost table must match Table 1 of the paper"
+    save_results("table1_cost_table", {"expected": expected, "reproduced": rows})
+
+
+def test_worked_example_removal(benchmark):
+    """Figures 1-4: one extra VC removes the ring deadlock."""
+    def run():
+        return remove_deadlocks(paper_ring_design())
+
+    result = benchmark(run)
+    print(banner("Worked example (Figures 1-4)"))
+    print(result.summary())
+    assert result.added_vc_count == 1
+    assert build_cdg(result.design).is_acyclic()
+    save_results(
+        "worked_example_removal",
+        {"added_vcs": result.added_vc_count, "iterations": result.iterations},
+    )
+
+
+def test_microbench_cdg_build(benchmark):
+    """Microbenchmark: building the CDG of the ring example."""
+    design = paper_ring_design()
+    cdg = benchmark(build_cdg, design)
+    assert cdg.edge_count == 4
+
+
+def test_microbench_smallest_cycle(benchmark):
+    """Microbenchmark: BFS smallest-cycle search on the ring CDG."""
+    cdg = build_cdg(paper_ring_design())
+    cycle = benchmark(find_smallest_cycle, cdg)
+    assert len(cycle) == 4

@@ -1,0 +1,41 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates the data behind one table or figure of the
+paper, prints it in a paper-like layout and stores the raw numbers as JSON
+under ``benchmarks/results/`` so EXPERIMENTS.md can quote them.
+
+Run the whole harness with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+#: Where benchmark results are written (created on demand).
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_results(name: str, data) -> Path:
+    """Write one benchmark's data as JSON and return the path."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(json.dumps(data, indent=2, sort_keys=True, default=str))
+    return path
+
+
+def banner(title: str) -> str:
+    """A visually distinct section header for the printed reports."""
+    line = "=" * len(title)
+    return f"\n{line}\n{title}\n{line}"
+
+
+@pytest.fixture
+def results_dir() -> Path:
+    """The directory benchmark results are written to."""
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR

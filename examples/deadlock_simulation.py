@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Watching a wormhole deadlock happen — and not happen.
+
+The paper's guarantee is structural: an acyclic channel dependency graph
+means no routing deadlock can occur.  This example demonstrates the runtime
+side of that guarantee with the flit-level wormhole simulator:
+
+1. the unmodified ring design (cyclic CDG) is driven hard and deadlocks —
+   the simulator reports the cycle of channels stuck in a circular wait;
+2. the same design after deadlock removal runs the same traffic without
+   ever stalling;
+3. the resource-ordering variant also runs deadlock free, but needed three
+   times as many extra virtual channels to get there.
+
+Run with::
+
+    python examples/deadlock_simulation.py
+"""
+
+from repro import (
+    SimulationConfig,
+    apply_resource_ordering,
+    paper_ring_design,
+    remove_deadlocks,
+    simulate_design,
+)
+
+#: Aggressive traffic: six times the nominal bandwidth, tiny buffers, long
+#: packets — the regime in which a cyclic design will lock up.
+STRESS = SimulationConfig(injection_scale=6.0, buffer_depth=2, seed=1)
+MAX_CYCLES = 5000
+
+
+def report(title: str, stats) -> None:
+    print(f"\n=== {title} ===")
+    print(stats.summary())
+    if stats.deadlock_detected:
+        print("  circular wait over channels:")
+        for channel in stats.deadlocked_channels:
+            print(f"    {channel.name}")
+
+
+def main() -> None:
+    design = paper_ring_design()
+
+    # 1. The unprotected design deadlocks under pressure.
+    unprotected_stats = simulate_design(design, max_cycles=MAX_CYCLES, config=STRESS)
+    report("unprotected ring (cyclic CDG)", unprotected_stats)
+
+    # 2. After deadlock removal the same traffic flows freely.
+    removal = remove_deadlocks(design)
+    removal_stats = simulate_design(removal.design, max_cycles=MAX_CYCLES, config=STRESS)
+    report(f"after deadlock removal (+{removal.added_vc_count} VC)", removal_stats)
+
+    # 3. Resource ordering is also safe, at a higher VC cost.
+    ordering = apply_resource_ordering(design)
+    ordering_stats = simulate_design(ordering.design, max_cycles=MAX_CYCLES, config=STRESS)
+    report(f"resource ordering (+{ordering.extra_vcs} VCs)", ordering_stats)
+
+    print("\nsummary")
+    print(f"  unprotected      : deadlock = {unprotected_stats.deadlock_detected}")
+    print(
+        f"  deadlock removal : deadlock = {removal_stats.deadlock_detected}, "
+        f"extra VCs = {removal.added_vc_count}, "
+        f"avg latency = {removal_stats.average_latency:.1f} cycles"
+    )
+    print(
+        f"  resource ordering: deadlock = {ordering_stats.deadlock_detected}, "
+        f"extra VCs = {ordering.extra_vcs}, "
+        f"avg latency = {ordering_stats.average_latency:.1f} cycles"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Reproduce the shape of Figures 8 and 9: VC overhead vs. switch count.
+
+For a chosen benchmark the script synthesizes application-specific
+topologies over a range of switch counts and, for each, reports the number
+of extra virtual channels required by the paper's deadlock-removal
+algorithm and by the resource-ordering baseline.  The take-away the paper
+plots: removal stays near zero while ordering grows with the route lengths.
+
+Run with::
+
+    python examples/switch_count_sweep.py                 # D26_media (Figure 8)
+    python examples/switch_count_sweep.py D36_8           # Figure 9
+    python examples/switch_count_sweep.py D36_8 10 14 18  # custom switch counts
+"""
+
+import sys
+
+from repro import list_benchmarks, sweep_switch_counts
+from repro.analysis.metrics import format_table
+from repro.analysis.sweeps import FIGURE8_SWITCH_COUNTS, FIGURE9_SWITCH_COUNTS
+
+
+def main() -> None:
+    benchmark = sys.argv[1] if len(sys.argv) > 1 else "D26_media"
+    if benchmark not in list_benchmarks():
+        print(f"unknown benchmark {benchmark!r}; choose from {list_benchmarks()}")
+        raise SystemExit(2)
+    if len(sys.argv) > 2:
+        switch_counts = [int(arg) for arg in sys.argv[2:]]
+    elif benchmark == "D26_media":
+        switch_counts = FIGURE8_SWITCH_COUNTS
+    else:
+        switch_counts = FIGURE9_SWITCH_COUNTS
+
+    print(f"benchmark {benchmark}, switch counts {switch_counts}")
+    comparisons = sweep_switch_counts(benchmark, switch_counts)
+
+    rows = []
+    for comparison in comparisons:
+        rows.append(
+            [
+                comparison.switch_count,
+                comparison.removal_extra_vcs,
+                comparison.ordering_extra_vcs,
+                round(comparison.vc_reduction_percent, 1),
+                round(comparison.removal.runtime_seconds, 3),
+            ]
+        )
+    print()
+    print(
+        format_table(
+            [
+                "switches",
+                "removal VCs",
+                "ordering VCs",
+                "VC reduction [%]",
+                "removal runtime [s]",
+            ],
+            rows,
+        )
+    )
+
+    total_removal = sum(c.removal_extra_vcs for c in comparisons)
+    total_ordering = sum(c.ordering_extra_vcs for c in comparisons)
+    print(
+        f"\ntotals over the sweep: removal {total_removal} VCs vs. "
+        f"ordering {total_ordering} VCs"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The environment used for development has no ``wheel`` package available
+offline, so PEP 660 editable installs (``pip install -e .`` with build
+isolation) cannot build the editable wheel.  This shim lets the classic
+``pip install -e . --no-build-isolation --no-use-pep517`` path (setuptools
+``develop``) work; all project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

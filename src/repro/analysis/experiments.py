@@ -1,0 +1,189 @@
+"""The three-way comparison behind the paper's evaluation.
+
+For a benchmark traffic specification and a switch count the paper's
+experiments compare three variants of the same synthesized topology:
+
+* **unprotected** — the synthesized design as-is (may deadlock);
+* **deadlock removal** — the paper's algorithm (adds few VCs);
+* **resource ordering** — the classic avoidance scheme (adds many VCs).
+
+:func:`compare_methods` produces all three plus their VC counts, power and
+area; :func:`sweep_switch_counts` repeats it over a range of switch counts,
+which is exactly what Figures 8 and 9 plot.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Union
+
+from repro.analysis.metrics import percent_reduction
+from repro.benchmarks.registry import get_benchmark
+from repro.core.removal import remove_deadlocks
+from repro.core.report import RemovalResult
+from repro.model.design import NocDesign
+from repro.model.traffic import CommunicationGraph
+from repro.power.estimator import (
+    NocAreaReport,
+    NocPowerReport,
+    estimate_area,
+    estimate_power,
+)
+from repro.power.orion import TechnologyParameters
+from repro.routing.ordering import OrderingResult, apply_resource_ordering
+from repro.synthesis.builder import SynthesisConfig, synthesize_design
+
+
+@dataclass
+class MethodComparison:
+    """All numbers the evaluation needs for one (benchmark, switch count) point."""
+
+    benchmark: str
+    switch_count: int
+    unprotected: NocDesign
+    removal: RemovalResult
+    ordering: OrderingResult
+    unprotected_power: NocPowerReport
+    removal_power: NocPowerReport
+    ordering_power: NocPowerReport
+    unprotected_area: NocAreaReport
+    removal_area: NocAreaReport
+    ordering_area: NocAreaReport
+
+    # ------------------------------------------------------------------
+    # headline numbers
+    # ------------------------------------------------------------------
+    @property
+    def removal_extra_vcs(self) -> int:
+        """Extra VCs added by the deadlock-removal algorithm."""
+        return self.removal.added_vc_count
+
+    @property
+    def ordering_extra_vcs(self) -> int:
+        """Extra VCs added by resource ordering."""
+        return self.ordering.extra_vcs
+
+    @property
+    def vc_reduction_percent(self) -> float:
+        """How many fewer VCs removal needs than ordering (the 88% claim)."""
+        return percent_reduction(self.ordering_extra_vcs, self.removal_extra_vcs)
+
+    @property
+    def power_saving_percent(self) -> float:
+        """Power saved by removal relative to ordering (the 8.6% claim)."""
+        return percent_reduction(
+            self.ordering_power.total_power_mw, self.removal_power.total_power_mw
+        )
+
+    @property
+    def area_saving_percent(self) -> float:
+        """Router+link area saved by removal relative to ordering (66% claim)."""
+        return percent_reduction(
+            self.ordering_area.total_area_mm2, self.removal_area.total_area_mm2
+        )
+
+    @property
+    def removal_power_overhead_percent(self) -> float:
+        """Power overhead of removal vs. the unprotected design (<5% claim)."""
+        if self.unprotected_power.total_power_mw == 0:
+            return 0.0
+        return (
+            self.removal_power.total_power_mw / self.unprotected_power.total_power_mw
+            - 1.0
+        ) * 100.0
+
+    @property
+    def removal_area_overhead_percent(self) -> float:
+        """Area overhead of removal vs. the unprotected design (<5% claim)."""
+        if self.unprotected_area.total_area_mm2 == 0:
+            return 0.0
+        return (
+            self.removal_area.total_area_mm2 / self.unprotected_area.total_area_mm2
+            - 1.0
+        ) * 100.0
+
+    @property
+    def normalised_ordering_power(self) -> float:
+        """Ordering power normalised to removal power (Figure 10's y-axis)."""
+        if self.removal_power.total_power_mw == 0:
+            return 0.0
+        return self.ordering_power.total_power_mw / self.removal_power.total_power_mw
+
+    def as_row(self) -> Dict[str, float]:
+        """Flat dictionary for tables and JSON dumps."""
+        return {
+            "benchmark": self.benchmark,
+            "switch_count": self.switch_count,
+            "removal_extra_vcs": self.removal_extra_vcs,
+            "ordering_extra_vcs": self.ordering_extra_vcs,
+            "vc_reduction_percent": round(self.vc_reduction_percent, 2),
+            "removal_power_mw": round(self.removal_power.total_power_mw, 3),
+            "ordering_power_mw": round(self.ordering_power.total_power_mw, 3),
+            "unprotected_power_mw": round(self.unprotected_power.total_power_mw, 3),
+            "power_saving_percent": round(self.power_saving_percent, 2),
+            "removal_area_mm2": round(self.removal_area.total_area_mm2, 4),
+            "ordering_area_mm2": round(self.ordering_area.total_area_mm2, 4),
+            "unprotected_area_mm2": round(self.unprotected_area.total_area_mm2, 4),
+            "area_saving_percent": round(self.area_saving_percent, 2),
+            "removal_power_overhead_percent": round(self.removal_power_overhead_percent, 2),
+            "removal_area_overhead_percent": round(self.removal_area_overhead_percent, 2),
+            "removal_runtime_s": round(self.removal.runtime_seconds, 4),
+        }
+
+
+def _resolve_traffic(
+    benchmark: Union[str, CommunicationGraph], seed: int
+) -> CommunicationGraph:
+    if isinstance(benchmark, CommunicationGraph):
+        return benchmark
+    return get_benchmark(benchmark, seed=seed)
+
+
+def compare_methods(
+    benchmark: Union[str, CommunicationGraph],
+    switch_count: int,
+    *,
+    seed: int = 0,
+    tech: Optional[TechnologyParameters] = None,
+    synthesis_overrides: Optional[Dict] = None,
+) -> MethodComparison:
+    """Run the full unprotected / removal / ordering comparison for one point."""
+    traffic = _resolve_traffic(benchmark, seed)
+    overrides = dict(synthesis_overrides or {})
+    config = SynthesisConfig(n_switches=switch_count, seed=seed, **overrides)
+    unprotected = synthesize_design(traffic, config)
+
+    removal = remove_deadlocks(unprotected)
+    ordering = apply_resource_ordering(unprotected)
+
+    tech = tech or TechnologyParameters()
+    return MethodComparison(
+        benchmark=traffic.name,
+        switch_count=switch_count,
+        unprotected=unprotected,
+        removal=removal,
+        ordering=ordering,
+        unprotected_power=estimate_power(unprotected, tech=tech),
+        removal_power=estimate_power(removal.design, tech=tech),
+        ordering_power=estimate_power(ordering.design, tech=tech),
+        unprotected_area=estimate_area(unprotected, tech=tech),
+        removal_area=estimate_area(removal.design, tech=tech),
+        ordering_area=estimate_area(ordering.design, tech=tech),
+    )
+
+
+def sweep_switch_counts(
+    benchmark: Union[str, CommunicationGraph],
+    switch_counts: Sequence[int],
+    *,
+    seed: int = 0,
+    synthesis_overrides: Optional[Dict] = None,
+) -> List[MethodComparison]:
+    """Repeat :func:`compare_methods` over several switch counts (Figures 8/9)."""
+    traffic = _resolve_traffic(benchmark, seed)
+    return [
+        compare_methods(
+            traffic, count, seed=seed, synthesis_overrides=synthesis_overrides
+        )
+        for count in switch_counts
+    ]

@@ -1,0 +1,126 @@
+"""Network-performance evaluation of protected designs.
+
+The paper's evaluation is about cost (VCs, power, area); a natural follow-up
+question — and the reason designers care about adding as few VCs as possible
+in the first place — is whether the protected design still performs.  This
+module runs the wormhole simulator over a range of injection scales and
+reports the classic latency-vs-offered-load curve, plus a convenience
+comparison of two designs (e.g. deadlock removal vs. resource ordering) at
+matched load points.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.model.design import NocDesign
+from repro.simulation.simulator import SimulationConfig, Simulator
+
+
+@dataclass
+class LoadPoint:
+    """One point of a latency-vs-load curve."""
+
+    injection_scale: float
+    offered_flits_per_cycle: float
+    delivered_flits_per_cycle: float
+    average_latency: float
+    max_latency: int
+    packets_delivered: int
+    deadlocked: bool
+
+    @property
+    def saturated(self) -> bool:
+        """Heuristic saturation flag: deliveries fall well short of offers."""
+        if self.offered_flits_per_cycle == 0:
+            return False
+        return self.delivered_flits_per_cycle < 0.8 * self.offered_flits_per_cycle
+
+
+@dataclass
+class LoadSweep:
+    """A latency-vs-load curve for one design."""
+
+    design_name: str
+    points: List[LoadPoint] = field(default_factory=list)
+
+    @property
+    def saturation_scale(self) -> Optional[float]:
+        """Smallest injection scale at which the design saturates (or None)."""
+        for point in self.points:
+            if point.deadlocked or point.saturated:
+                return point.injection_scale
+        return None
+
+    def as_rows(self) -> List[List]:
+        """Table rows: scale, offered, delivered, latency, deadlocked."""
+        return [
+            [
+                point.injection_scale,
+                round(point.offered_flits_per_cycle, 4),
+                round(point.delivered_flits_per_cycle, 4),
+                round(point.average_latency, 1),
+                point.deadlocked,
+            ]
+            for point in self.points
+        ]
+
+
+def load_latency_sweep(
+    design: NocDesign,
+    *,
+    injection_scales: Sequence[float] = (0.25, 0.5, 0.75, 1.0, 1.5, 2.0),
+    max_cycles: int = 3000,
+    buffer_depth: int = 4,
+    seed: int = 0,
+) -> LoadSweep:
+    """Simulate ``design`` at several injection scales and collect the curve.
+
+    Deadlocked points are recorded (not raised) so sweeps over unprotected
+    designs show where they fall over.
+    """
+    sweep = LoadSweep(design_name=design.name)
+    for scale in injection_scales:
+        config = SimulationConfig(
+            injection_scale=scale, buffer_depth=buffer_depth, seed=seed
+        )
+        simulator = Simulator(design, config)
+        offered = sum(
+            rate * design.traffic.flow(name).packet_size_flits
+            for name, rate in simulator.generator.flow_rates.items()
+        )
+        stats = simulator.run(max_cycles)
+        sweep.points.append(
+            LoadPoint(
+                injection_scale=scale,
+                offered_flits_per_cycle=offered,
+                delivered_flits_per_cycle=stats.throughput_flits_per_cycle,
+                average_latency=stats.average_latency,
+                max_latency=stats.max_latency,
+                packets_delivered=stats.packets_delivered,
+                deadlocked=stats.deadlock_detected,
+            )
+        )
+    return sweep
+
+
+def compare_performance(
+    designs: Dict[str, NocDesign],
+    *,
+    injection_scales: Sequence[float] = (0.5, 1.0, 1.5),
+    max_cycles: int = 3000,
+    buffer_depth: int = 4,
+    seed: int = 0,
+) -> Dict[str, LoadSweep]:
+    """Run :func:`load_latency_sweep` for several named designs."""
+    return {
+        label: load_latency_sweep(
+            design,
+            injection_scales=injection_scales,
+            max_cycles=max_cycles,
+            buffer_depth=buffer_depth,
+            seed=seed,
+        )
+        for label, design in designs.items()
+    }

@@ -1,0 +1,174 @@
+"""Figure-level sweeps: one function per table/figure of the paper.
+
+Each function returns plain dictionaries/lists so the benchmark harness can
+print them and EXPERIMENTS.md can quote them directly.  The switch-count
+grids match the x-axis ranges of the paper's figures.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis.experiments import compare_methods, sweep_switch_counts
+from repro.analysis.metrics import arithmetic_mean
+from repro.benchmarks.registry import get_benchmark
+from repro.core.removal import remove_deadlocks
+from repro.synthesis.builder import SynthesisConfig, synthesize_design
+
+#: Switch counts of Figure 8 (D26_media, x-axis 5..25).
+FIGURE8_SWITCH_COUNTS: List[int] = [5, 8, 11, 14, 17, 20, 23, 25]
+
+#: Switch counts of Figure 9 (D36_8, x-axis 10..35).
+FIGURE9_SWITCH_COUNTS: List[int] = [10, 14, 18, 22, 26, 30, 35]
+
+#: Benchmarks of Figure 10, in the paper's plotting order.
+FIGURE10_BENCHMARKS: List[str] = [
+    "D26_media",
+    "D36_4",
+    "D36_6",
+    "D36_8",
+    "D35_bott",
+    "D38_tvopd",
+]
+
+#: Switch count used for Figure 10 and the area/overhead claims
+#: ("the values reported in the plot are for topologies with 14 switches").
+FIGURE10_SWITCH_COUNT = 14
+
+
+def figure8_series(
+    *, switch_counts: Optional[Sequence[int]] = None, seed: int = 0
+) -> Dict[str, List]:
+    """Figure 8: extra VCs vs. switch count for D26_media."""
+    counts = list(switch_counts or FIGURE8_SWITCH_COUNTS)
+    comparisons = sweep_switch_counts("D26_media", counts, seed=seed)
+    return {
+        "benchmark": "D26_media",
+        "switch_counts": counts,
+        "resource_ordering_vcs": [c.ordering_extra_vcs for c in comparisons],
+        "deadlock_removal_vcs": [c.removal_extra_vcs for c in comparisons],
+    }
+
+
+def figure9_series(
+    *, switch_counts: Optional[Sequence[int]] = None, seed: int = 0
+) -> Dict[str, List]:
+    """Figure 9: extra VCs vs. switch count for D36_8."""
+    counts = list(switch_counts or FIGURE9_SWITCH_COUNTS)
+    comparisons = sweep_switch_counts("D36_8", counts, seed=seed)
+    return {
+        "benchmark": "D36_8",
+        "switch_counts": counts,
+        "resource_ordering_vcs": [c.ordering_extra_vcs for c in comparisons],
+        "deadlock_removal_vcs": [c.removal_extra_vcs for c in comparisons],
+    }
+
+
+def figure10_power_series(
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    switch_count: int = FIGURE10_SWITCH_COUNT,
+    seed: int = 0,
+) -> Dict[str, List]:
+    """Figure 10: power of resource ordering normalised to deadlock removal."""
+    names = list(benchmarks or FIGURE10_BENCHMARKS)
+    removal_norm: List[float] = []
+    ordering_norm: List[float] = []
+    savings: List[float] = []
+    for name in names:
+        comparison = compare_methods(name, switch_count, seed=seed)
+        removal_norm.append(1.0)
+        ordering_norm.append(comparison.normalised_ordering_power)
+        savings.append(comparison.power_saving_percent)
+    return {
+        "benchmarks": names,
+        "switch_count": switch_count,
+        "deadlock_removal_normalised_power": removal_norm,
+        "resource_ordering_normalised_power": ordering_norm,
+        "power_saving_percent": savings,
+        "average_power_saving_percent": arithmetic_mean(savings),
+    }
+
+
+def area_savings_table(
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    switch_count: int = FIGURE10_SWITCH_COUNT,
+    seed: int = 0,
+) -> Dict[str, List]:
+    """The §5 area claim: VC and area reduction of removal vs. ordering."""
+    names = list(benchmarks or FIGURE10_BENCHMARKS)
+    vc_reduction: List[float] = []
+    area_saving: List[float] = []
+    removal_vcs: List[int] = []
+    ordering_vcs: List[int] = []
+    for name in names:
+        comparison = compare_methods(name, switch_count, seed=seed)
+        vc_reduction.append(comparison.vc_reduction_percent)
+        area_saving.append(comparison.area_saving_percent)
+        removal_vcs.append(comparison.removal_extra_vcs)
+        ordering_vcs.append(comparison.ordering_extra_vcs)
+    return {
+        "benchmarks": names,
+        "switch_count": switch_count,
+        "removal_extra_vcs": removal_vcs,
+        "ordering_extra_vcs": ordering_vcs,
+        "vc_reduction_percent": vc_reduction,
+        "area_saving_percent": area_saving,
+        "average_vc_reduction_percent": arithmetic_mean(vc_reduction),
+        "average_area_saving_percent": arithmetic_mean(area_saving),
+    }
+
+
+def overhead_vs_unprotected(
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    switch_count: int = FIGURE10_SWITCH_COUNT,
+    seed: int = 0,
+) -> Dict[str, List]:
+    """The §5 overhead claim: removal vs. designs with no deadlock handling."""
+    names = list(benchmarks or FIGURE10_BENCHMARKS)
+    power_overhead: List[float] = []
+    area_overhead: List[float] = []
+    for name in names:
+        comparison = compare_methods(name, switch_count, seed=seed)
+        power_overhead.append(comparison.removal_power_overhead_percent)
+        area_overhead.append(comparison.removal_area_overhead_percent)
+    return {
+        "benchmarks": names,
+        "switch_count": switch_count,
+        "power_overhead_percent": power_overhead,
+        "area_overhead_percent": area_overhead,
+        "average_power_overhead_percent": arithmetic_mean(power_overhead),
+        "average_area_overhead_percent": arithmetic_mean(area_overhead),
+    }
+
+
+def runtime_scaling(
+    *,
+    benchmarks: Optional[Sequence[str]] = None,
+    switch_count: int = FIGURE10_SWITCH_COUNT,
+    seed: int = 0,
+) -> Dict[str, List]:
+    """The §5 runtime claim: the method runs in seconds/minutes and scales."""
+    names = list(benchmarks or FIGURE10_BENCHMARKS)
+    synthesis_seconds: List[float] = []
+    removal_seconds: List[float] = []
+    added_vcs: List[int] = []
+    for name in names:
+        traffic = get_benchmark(name, seed=seed)
+        start = time.perf_counter()
+        design = synthesize_design(traffic, SynthesisConfig(n_switches=switch_count, seed=seed))
+        synthesis_seconds.append(time.perf_counter() - start)
+        result = remove_deadlocks(design)
+        removal_seconds.append(result.runtime_seconds)
+        added_vcs.append(result.added_vc_count)
+    return {
+        "benchmarks": names,
+        "switch_count": switch_count,
+        "synthesis_seconds": synthesis_seconds,
+        "removal_seconds": removal_seconds,
+        "added_vcs": added_vcs,
+        "total_removal_seconds": sum(removal_seconds),
+    }

@@ -1,0 +1,42 @@
+"""Benchmark registry: look up the paper's benchmarks by name."""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List
+
+from repro.benchmarks.soc import d26_media, d35_bott, d36_4, d36_6, d36_8, d38_tvopd
+from repro.errors import BenchmarkError
+from repro.model.traffic import CommunicationGraph
+
+#: Factories for the six benchmarks of the paper's evaluation, keyed by the
+#: names used in Figures 8-10.
+_FACTORIES: Dict[str, Callable[[int], CommunicationGraph]] = {
+    "D26_media": d26_media,
+    "D36_4": d36_4,
+    "D36_6": d36_6,
+    "D36_8": d36_8,
+    "D35_bott": d35_bott,
+    "D38_tvopd": d38_tvopd,
+}
+
+BENCHMARK_NAMES: List[str] = list(_FACTORIES)
+
+
+def list_benchmarks() -> List[str]:
+    """Names of all registered benchmarks, in the paper's order."""
+    return list(BENCHMARK_NAMES)
+
+
+def get_benchmark(name: str, seed: int = 0) -> CommunicationGraph:
+    """Instantiate a benchmark communication graph by name.
+
+    Raises :class:`~repro.errors.BenchmarkError` for unknown names; the
+    error message lists the valid ones, which makes CLI typos painless.
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise BenchmarkError(
+            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARK_NAMES)}"
+        ) from None
+    return factory(seed)

@@ -1,0 +1,218 @@
+"""Command-line interface.
+
+Installed as ``noc-deadlock``.  Subcommands:
+
+* ``analyze``   — load a design JSON, report CDG cycles and deadlock status;
+* ``remove``    — run the deadlock-removal algorithm and write the result;
+* ``ordering``  — apply the resource-ordering baseline and write the result;
+* ``synthesize``— generate an application-specific design from a benchmark;
+* ``simulate``  — run the wormhole simulator on a design;
+* ``benchmarks``— list the available SoC benchmarks;
+* ``figures``   — regenerate the data behind the paper's figures.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import List, Optional
+
+from repro.analysis.sweeps import (
+    area_savings_table,
+    figure10_power_series,
+    figure8_series,
+    figure9_series,
+    overhead_vs_unprotected,
+)
+from repro.benchmarks.registry import get_benchmark, list_benchmarks
+from repro.core.cdg import build_cdg
+from repro.core.cycles import count_cycles, find_smallest_cycle
+from repro.core.removal import remove_deadlocks
+from repro.errors import ReproError
+from repro.export.dot import cdg_to_dot, design_report, topology_to_dot
+from repro.model.serialization import load_design, save_design
+from repro.power.estimator import estimate_area, estimate_power
+from repro.routing.ordering import apply_resource_ordering
+from repro.simulation.simulator import SimulationConfig, simulate_design
+from repro.synthesis.builder import SynthesisConfig, synthesize_design
+
+
+def _cmd_analyze(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    cdg = build_cdg(design)
+    acyclic = cdg.is_acyclic()
+    print(f"design           : {design.name}")
+    print(f"switches / links : {design.topology.switch_count} / {design.topology.link_count}")
+    print(f"flows            : {design.traffic.flow_count}")
+    print(f"CDG channels     : {cdg.channel_count}")
+    print(f"CDG dependencies : {cdg.edge_count}")
+    print(f"deadlock free    : {'yes' if acyclic else 'NO'}")
+    if not acyclic:
+        cycles = count_cycles(cdg, limit=1000)
+        smallest = find_smallest_cycle(cdg)
+        print(f"cycles (capped)  : {cycles}")
+        print("smallest cycle   : " + " -> ".join(c.name for c in smallest))
+    return 0 if acyclic or not args.strict else 1
+
+
+def _cmd_remove(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    result = remove_deadlocks(design)
+    print(result.summary())
+    if args.output:
+        save_design(result.design, args.output)
+        print(f"wrote deadlock-free design to {args.output}")
+    return 0
+
+
+def _cmd_ordering(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    result = apply_resource_ordering(design, strategy=args.strategy)
+    print(result.summary())
+    if args.output:
+        save_design(result.design, args.output)
+        print(f"wrote resource-ordered design to {args.output}")
+    return 0
+
+
+def _cmd_synthesize(args: argparse.Namespace) -> int:
+    traffic = get_benchmark(args.benchmark, seed=args.seed)
+    config = SynthesisConfig(n_switches=args.switches, seed=args.seed)
+    design = synthesize_design(traffic, config)
+    cdg = build_cdg(design)
+    print(f"synthesized {design.name}: {design.topology.switch_count} switches, "
+          f"{design.topology.link_count} links, CDG "
+          f"{'acyclic' if cdg.is_acyclic() else 'CYCLIC'}")
+    power = estimate_power(design)
+    area = estimate_area(design)
+    print(power.summary())
+    print(area.summary())
+    if args.output:
+        save_design(design, args.output)
+        print(f"wrote design to {args.output}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    config = SimulationConfig(
+        injection_scale=args.injection_scale,
+        buffer_depth=args.buffer_depth,
+        seed=args.seed,
+    )
+    stats = simulate_design(design, max_cycles=args.cycles, config=config)
+    print(stats.summary())
+    return 1 if stats.deadlock_detected else 0
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    design = load_design(args.design)
+    if args.what == "topology":
+        output = topology_to_dot(design)
+    elif args.what == "cdg":
+        cdg = build_cdg(design)
+        cycle = find_smallest_cycle(cdg)
+        output = cdg_to_dot(cdg, highlight_cycle=cycle)
+    else:
+        output = design_report(design)
+    if args.output:
+        from pathlib import Path
+
+        Path(args.output).write_text(output + "\n")
+        print(f"wrote {args.what} view to {args.output}")
+    else:
+        print(output)
+    return 0
+
+
+def _cmd_benchmarks(_args: argparse.Namespace) -> int:
+    for name in list_benchmarks():
+        traffic = get_benchmark(name)
+        print(f"{name:12s}  cores={traffic.core_count:3d}  flows={traffic.flow_count:3d}")
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    which = args.figure
+    if which in ("8", "all"):
+        print(json.dumps(figure8_series(seed=args.seed), indent=2))
+    if which in ("9", "all"):
+        print(json.dumps(figure9_series(seed=args.seed), indent=2))
+    if which in ("10", "all"):
+        print(json.dumps(figure10_power_series(seed=args.seed), indent=2))
+    if which in ("area", "all"):
+        print(json.dumps(area_savings_table(seed=args.seed), indent=2))
+    if which in ("overhead", "all"):
+        print(json.dumps(overhead_vs_unprotected(seed=args.seed), indent=2))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and documentation tools)."""
+    parser = argparse.ArgumentParser(
+        prog="noc-deadlock",
+        description="Deadlock removal for wormhole NoCs (DATE 2010 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("analyze", help="report CDG cycles of a design file")
+    p.add_argument("design", help="path to a design JSON file")
+    p.add_argument("--strict", action="store_true", help="exit non-zero when cyclic")
+    p.set_defaults(func=_cmd_analyze)
+
+    p = sub.add_parser("remove", help="run the deadlock-removal algorithm")
+    p.add_argument("design", help="path to a design JSON file")
+    p.add_argument("-o", "--output", help="where to write the modified design")
+    p.set_defaults(func=_cmd_remove)
+
+    p = sub.add_parser("ordering", help="apply the resource-ordering baseline")
+    p.add_argument("design", help="path to a design JSON file")
+    p.add_argument("--strategy", choices=["hop_index", "layered"], default="hop_index")
+    p.add_argument("-o", "--output", help="where to write the modified design")
+    p.set_defaults(func=_cmd_ordering)
+
+    p = sub.add_parser("synthesize", help="synthesize a design from a benchmark")
+    p.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
+    p.add_argument("--switches", type=int, default=14)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("-o", "--output", help="where to write the design")
+    p.set_defaults(func=_cmd_synthesize)
+
+    p = sub.add_parser("simulate", help="run the wormhole simulator on a design")
+    p.add_argument("design", help="path to a design JSON file")
+    p.add_argument("--cycles", type=int, default=10000)
+    p.add_argument("--injection-scale", type=float, default=1.0)
+    p.add_argument("--buffer-depth", type=int, default=4)
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_simulate)
+
+    p = sub.add_parser("export", help="export a design as Graphviz DOT or a text report")
+    p.add_argument("design", help="path to a design JSON file")
+    p.add_argument("what", choices=["topology", "cdg", "report"])
+    p.add_argument("-o", "--output", help="file to write (stdout when omitted)")
+    p.set_defaults(func=_cmd_export)
+
+    p = sub.add_parser("benchmarks", help="list the available SoC benchmarks")
+    p.set_defaults(func=_cmd_benchmarks)
+
+    p = sub.add_parser("figures", help="regenerate the data behind the paper's figures")
+    p.add_argument("figure", choices=["8", "9", "10", "area", "overhead", "all"])
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_figures)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,203 @@
+"""Algorithm 1 — the deadlock-removal driver.
+
+The outer loop of the paper's method:
+
+1. build the channel dependency graph from the current routes;
+2. find the smallest cycle (breaking the smallest cycle first often also
+   breaks larger cycles sharing edges with it);
+3. evaluate the cost of breaking the cycle in the forward and in the
+   backward direction (Algorithm 2) and apply the cheaper break;
+4. update topology and routes and repeat until the CDG is acyclic.
+
+On top of the paper's algorithm this module exposes two ablation knobs used
+by the benchmark harness: the cycle-selection heuristic (smallest / largest
+/ random) and the direction policy (best-of-both / forward-only /
+backward-only).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Callable, Optional
+
+from repro.core.breaker import RESOURCE_PHYSICAL, RESOURCE_VIRTUAL, break_cycle
+from repro.core.cdg import build_cdg
+from repro.core.cost import BACKWARD, FORWARD, find_dependency_to_break
+from repro.core.cycles import (
+    count_cycles,
+    find_all_cycles,
+    find_largest_cycle,
+    find_smallest_cycle,
+)
+from repro.core.report import RemovalResult
+from repro.errors import ConvergenceError, RemovalError
+from repro.model.design import NocDesign
+from repro.model.validation import validate_design
+
+SELECT_SMALLEST = "smallest"
+SELECT_LARGEST = "largest"
+SELECT_RANDOM = "random"
+_SELECTIONS = (SELECT_SMALLEST, SELECT_LARGEST, SELECT_RANDOM)
+
+POLICY_BEST = "best"
+POLICY_FORWARD = "forward"
+POLICY_BACKWARD = "backward"
+_POLICIES = (POLICY_BEST, POLICY_FORWARD, POLICY_BACKWARD)
+
+
+class DeadlockRemover:
+    """Configurable implementation of Algorithm 1.
+
+    Parameters
+    ----------
+    cycle_selection:
+        Which cycle to break at every iteration.  ``"smallest"`` is the
+        paper's heuristic; ``"largest"`` and ``"random"`` exist for the
+        ablation benchmark.
+    direction_policy:
+        ``"best"`` compares forward and backward costs (the paper);
+        ``"forward"`` / ``"backward"`` force a single direction.
+    resource_mode:
+        ``"virtual"`` (default) duplicates channels as extra VCs on the same
+        physical link; ``"physical"`` adds parallel physical links instead,
+        for NoC architectures without VC support (Section 1 of the paper).
+    max_iterations:
+        Safety cap; ``None`` derives a generous bound from the CDG size.
+    count_initial_cycles:
+        When true the initial number of elementary cycles is counted (can be
+        expensive on dense CDGs) and stored in the result.
+    seed:
+        Random seed, only used with ``cycle_selection="random"``.
+    on_iteration:
+        Optional callback invoked with each
+        :class:`~repro.core.report.BreakAction` as it happens.
+    validate:
+        Validate the design before and after removal (recommended).
+    """
+
+    def __init__(
+        self,
+        *,
+        cycle_selection: str = SELECT_SMALLEST,
+        direction_policy: str = POLICY_BEST,
+        resource_mode: str = RESOURCE_VIRTUAL,
+        max_iterations: Optional[int] = None,
+        count_initial_cycles: bool = True,
+        seed: int = 0,
+        on_iteration: Optional[Callable] = None,
+        validate: bool = True,
+    ):
+        if cycle_selection not in _SELECTIONS:
+            raise RemovalError(f"unknown cycle selection {cycle_selection!r}")
+        if direction_policy not in _POLICIES:
+            raise RemovalError(f"unknown direction policy {direction_policy!r}")
+        if resource_mode not in (RESOURCE_VIRTUAL, RESOURCE_PHYSICAL):
+            raise RemovalError(f"unknown resource mode {resource_mode!r}")
+        self.cycle_selection = cycle_selection
+        self.direction_policy = direction_policy
+        self.resource_mode = resource_mode
+        self.max_iterations = max_iterations
+        self.count_initial_cycles = count_initial_cycles
+        self.seed = seed
+        self.on_iteration = on_iteration
+        self.validate = validate
+
+    # ------------------------------------------------------------------
+    def _select_cycle(self, cdg, rng: random.Random):
+        if self.cycle_selection == SELECT_SMALLEST:
+            return find_smallest_cycle(cdg)
+        if self.cycle_selection == SELECT_LARGEST:
+            return find_largest_cycle(cdg, limit=2000)
+        cycles = find_all_cycles(cdg, limit=2000)
+        if not cycles:
+            return None
+        return cycles[rng.randrange(len(cycles))]
+
+    def _choose_break(self, cycle, routes):
+        if self.direction_policy == POLICY_FORWARD:
+            cost, pos, table = find_dependency_to_break(cycle, routes, FORWARD)
+            return FORWARD, cost, pos, table
+        if self.direction_policy == POLICY_BACKWARD:
+            cost, pos, table = find_dependency_to_break(cycle, routes, BACKWARD)
+            return BACKWARD, cost, pos, table
+        f_cost, f_pos, f_table = find_dependency_to_break(cycle, routes, FORWARD)
+        b_cost, b_pos, b_table = find_dependency_to_break(cycle, routes, BACKWARD)
+        if f_cost <= b_cost:
+            return FORWARD, f_cost, f_pos, f_table
+        return BACKWARD, b_cost, b_pos, b_table
+
+    # ------------------------------------------------------------------
+    def remove(self, design: NocDesign, *, in_place: bool = False) -> RemovalResult:
+        """Run Algorithm 1 on ``design`` and return the removal result.
+
+        By default the input design is left untouched and the result carries
+        a modified copy; pass ``in_place=True`` to mutate the input.
+        """
+        start = time.perf_counter()
+        if self.validate:
+            validate_design(design)
+        work = design if in_place else design.copy()
+
+        rng = random.Random(self.seed)
+        cdg = build_cdg(work)
+        initial_cycles = 0
+        initially_free = cdg.is_acyclic()
+        if self.count_initial_cycles and not initially_free:
+            initial_cycles = count_cycles(cdg, limit=2000)
+
+        max_iterations = self.max_iterations
+        if max_iterations is None:
+            max_iterations = 100 + 10 * max(cdg.edge_count, 1)
+
+        result = RemovalResult(
+            design=work,
+            initially_deadlock_free=initially_free,
+            initial_cycle_count=initial_cycles,
+        )
+
+        iteration = 0
+        while True:
+            cycle = self._select_cycle(cdg, rng)
+            if cycle is None:
+                break
+            iteration += 1
+            if iteration > max_iterations:
+                remaining = count_cycles(cdg, limit=100)
+                raise ConvergenceError(iteration - 1, remaining)
+            direction, cost, position, table = self._choose_break(cycle, work.routes)
+            action = break_cycle(
+                work,
+                cycle,
+                position,
+                direction,
+                iteration=iteration,
+                cost_table=table,
+                resource_mode=self.resource_mode,
+            )
+            result.actions.append(action)
+            if self.on_iteration is not None:
+                self.on_iteration(action)
+            # The CDG is a pure function of the routes, so rebuilding it after
+            # every break keeps it consistent by construction (Step 12).
+            cdg = build_cdg(work)
+
+        result.iterations = iteration
+        result.runtime_seconds = time.perf_counter() - start
+        if self.validate:
+            validate_design(work)
+        if not cdg.is_acyclic():  # pragma: no cover - defensive
+            raise RemovalError("internal error: CDG still cyclic after removal loop")
+        return result
+
+
+def remove_deadlocks(design: NocDesign, **options) -> RemovalResult:
+    """Convenience wrapper: ``DeadlockRemover(**options).remove(design)``."""
+    in_place = options.pop("in_place", False)
+    remover = DeadlockRemover(**options)
+    return remover.remove(design, in_place=in_place)
+
+
+def is_deadlock_free(design: NocDesign) -> bool:
+    """True when the design's CDG is already acyclic (no removal needed)."""
+    return build_cdg(design).is_acyclic()

@@ -1,0 +1,107 @@
+"""Exception hierarchy for the NoC deadlock-removal library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class DesignError(ReproError):
+    """A NoC design object (topology, traffic, routes) is malformed."""
+
+
+class TopologyError(DesignError):
+    """The topology graph is inconsistent (unknown switch, duplicate link...)."""
+
+
+class TrafficError(DesignError):
+    """The communication graph is inconsistent (unknown core, duplicate flow...)."""
+
+
+class RouteError(DesignError):
+    """A route is inconsistent with the topology or the flow it serves."""
+
+
+class ValidationError(DesignError):
+    """A full-design validation pass failed.
+
+    The ``problems`` attribute carries the individual findings so callers can
+    report all of them instead of only the first one.
+    """
+
+    def __init__(self, problems):
+        self.problems = list(problems)
+        summary = "; ".join(str(p) for p in self.problems[:5])
+        extra = "" if len(self.problems) <= 5 else f" (+{len(self.problems) - 5} more)"
+        super().__init__(f"design validation failed: {summary}{extra}")
+
+
+class SerializationError(ReproError):
+    """A design file could not be parsed or written."""
+
+
+class CycleSearchError(ReproError):
+    """Cycle search was asked something impossible (e.g. empty CDG node)."""
+
+
+class RemovalError(ReproError):
+    """The deadlock-removal algorithm could not complete."""
+
+
+class ConvergenceError(RemovalError):
+    """The removal loop exceeded its iteration budget without reaching an
+    acyclic channel dependency graph."""
+
+    def __init__(self, iterations, remaining_cycles):
+        self.iterations = iterations
+        self.remaining_cycles = remaining_cycles
+        super().__init__(
+            f"deadlock removal did not converge after {iterations} iterations; "
+            f"{remaining_cycles} cycle(s) remain in the CDG"
+        )
+
+
+class OrderingError(ReproError):
+    """The resource-ordering baseline could not assign consistent classes."""
+
+
+class SynthesisError(ReproError):
+    """Topology synthesis failed (e.g. unsatisfiable constraints)."""
+
+
+class PowerModelError(ReproError):
+    """The power/area model was given parameters outside its valid domain."""
+
+
+class SimulationError(ReproError):
+    """The wormhole simulator hit an internal inconsistency."""
+
+
+class DeadlockDetected(SimulationError):
+    """The simulator detected a routing deadlock at run time.
+
+    This is deliberately an exception *and* a reportable result: benchmarks
+    that expect a deadlock catch it, while users simulating a supposedly
+    deadlock-free design get a loud failure.
+    """
+
+    def __init__(self, cycle, blocked_channels, message=None):
+        self.cycle = cycle
+        self.blocked_channels = list(blocked_channels)
+        super().__init__(
+            message
+            or (
+                f"deadlock detected at cycle {cycle}: "
+                f"{len(self.blocked_channels)} channel(s) in a cyclic wait"
+            )
+        )
+
+
+class BenchmarkError(ReproError):
+    """An unknown benchmark was requested from the registry."""

@@ -1,0 +1,12 @@
+"""Canned designs used by documentation, tests and benchmarks.
+
+The most important one is :func:`repro.examples_data.paper_ring.paper_ring_design`,
+the 4-switch ring of Figures 1-4 of the paper, whose cost table is Table 1.
+"""
+
+from repro.examples_data.paper_ring import (
+    paper_ring_design,
+    paper_ring_expected_cost_table,
+)
+
+__all__ = ["paper_ring_design", "paper_ring_expected_cost_table"]

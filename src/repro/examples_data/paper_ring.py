@@ -1,0 +1,109 @@
+"""The worked example of the paper (Figures 1-7 and Table 1).
+
+Four switches ``SW1..SW4`` connected in a unidirectional ring by links
+``L1..L4`` and four flows:
+
+* ``F1`` with route ``{L1, L2, L3}``
+* ``F2`` with route ``{L3, L4}``
+* ``F3`` with route ``{L4, L1}``
+* ``F4`` with route ``{L1, L2}``
+
+The corresponding CDG (Figure 2) contains the cycle ``L1 -> L2 -> L3 -> L4
+-> L1``, so the unmodified design can deadlock.  Table 1 of the paper gives
+the forward-direction cost table for that cycle; its MAX row is
+``[1, 2, 1, 1]`` and the cheapest break has cost 1.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.model.channels import Channel, Link
+from repro.model.design import NocDesign
+from repro.model.routes import Route, RouteSet
+from repro.model.topology import Topology
+from repro.model.traffic import CommunicationGraph
+
+#: The paper's link names mapped onto directed switch pairs.  The ring is
+#: SW1 -> SW2 -> SW3 -> SW4 -> SW1 with L1 = SW1->SW2, L2 = SW2->SW3,
+#: L3 = SW3->SW4 and L4 = SW4->SW1.
+PAPER_LINKS: Dict[str, Tuple[str, str]] = {
+    "L1": ("SW1", "SW2"),
+    "L2": ("SW2", "SW3"),
+    "L3": ("SW3", "SW4"),
+    "L4": ("SW4", "SW1"),
+}
+
+#: Routes of the four flows, expressed with the paper's link names.
+PAPER_ROUTES: Dict[str, List[str]] = {
+    "F1": ["L1", "L2", "L3"],
+    "F2": ["L3", "L4"],
+    "F3": ["L4", "L1"],
+    "F4": ["L1", "L2"],
+}
+
+
+def paper_link(name: str) -> Link:
+    """The :class:`~repro.model.channels.Link` object for a paper link name."""
+    src, dst = PAPER_LINKS[name]
+    return Link(src, dst)
+
+
+def paper_channel(name: str, vc: int = 0) -> Channel:
+    """The channel (VC 0 by default) for a paper link name."""
+    return Channel(paper_link(name), vc)
+
+
+def paper_ring_design() -> NocDesign:
+    """Build the complete ring design of Figure 1.
+
+    Each flow gets a source core attached to the switch its route starts
+    from and a destination core attached to the switch its route ends at, so
+    the design passes full validation and can also be fed to the wormhole
+    simulator.
+    """
+    topology = Topology("paper_ring")
+    topology.add_switches(["SW1", "SW2", "SW3", "SW4"])
+    for name in sorted(PAPER_LINKS):
+        src, dst = PAPER_LINKS[name]
+        topology.add_link(src, dst)
+
+    traffic = CommunicationGraph("paper_ring_traffic")
+    routes = RouteSet()
+    core_map: Dict[str, str] = {}
+    for flow_name in sorted(PAPER_ROUTES):
+        link_names = PAPER_ROUTES[flow_name]
+        channels = [paper_channel(n) for n in link_names]
+        route = Route(channels)
+        src_core = f"core_{flow_name}_src"
+        dst_core = f"core_{flow_name}_dst"
+        traffic.add_core(src_core)
+        traffic.add_core(dst_core)
+        traffic.add_flow(flow_name, src_core, dst_core, bandwidth=100.0)
+        core_map[src_core] = route.source_switch
+        core_map[dst_core] = route.destination_switch
+        routes.set_route(flow_name, route)
+
+    return NocDesign(
+        name="paper_ring",
+        topology=topology,
+        traffic=traffic,
+        core_map=core_map,
+        routes=routes,
+    )
+
+
+def paper_ring_cycle() -> List[Channel]:
+    """The CDG cycle of Figure 2, starting at L1 (the paper's ordering)."""
+    return [paper_channel(n) for n in ("L1", "L2", "L3", "L4")]
+
+
+def paper_ring_expected_cost_table() -> Dict[str, List[int]]:
+    """Table 1 of the paper: per-flow forward costs at D1..D4 plus MAX row."""
+    return {
+        "F1": [1, 2, 0, 0],
+        "F2": [0, 0, 1, 0],
+        "F3": [0, 0, 0, 1],
+        "F4": [1, 0, 0, 0],
+        "MAX": [1, 2, 1, 1],
+    }

@@ -1,0 +1,12 @@
+"""Exporters: Graphviz DOT views and text reports of designs and CDGs.
+
+NoC papers communicate almost everything through two pictures — the
+topology with its flows, and the channel dependency graph with its cycles.
+This subpackage renders both as Graphviz DOT documents (no Graphviz
+installation needed to *generate* them) plus a plain-text design report, so
+users can inspect what the removal algorithm did to their design.
+"""
+
+from repro.export.dot import cdg_to_dot, design_report, topology_to_dot
+
+__all__ = ["topology_to_dot", "cdg_to_dot", "design_report"]

@@ -1,0 +1,33 @@
+"""NoC design model: switches, links, channels, cores, flows, routes.
+
+This subpackage implements Definitions 1-4 of the paper:
+
+* :class:`~repro.model.topology.Topology` — the topology graph ``TG(S, L)``
+  of switches and directed physical links, each link carrying one or more
+  virtual channels.
+* :class:`~repro.model.traffic.CommunicationGraph` — the communication graph
+  ``G(V, E)`` of cores and flows.
+* :class:`~repro.model.routes.Route` / :class:`~repro.model.routes.RouteSet`
+  — the per-flow ordered channel lists.
+* :class:`~repro.model.design.NocDesign` — the bundle of all of the above
+  plus the core-to-switch mapping, which is what the deadlock-removal
+  algorithm, the resource-ordering baseline, the power models and the
+  simulator all consume.
+"""
+
+from repro.model.channels import Channel, Link
+from repro.model.design import NocDesign
+from repro.model.routes import Route, RouteSet
+from repro.model.topology import Topology
+from repro.model.traffic import CommunicationGraph, Flow
+
+__all__ = [
+    "Channel",
+    "Link",
+    "Topology",
+    "CommunicationGraph",
+    "Flow",
+    "Route",
+    "RouteSet",
+    "NocDesign",
+]

@@ -1,0 +1,150 @@
+"""JSON serialization of NoC designs.
+
+The on-disk format is a single JSON document with four sections (topology,
+traffic, core_map, routes).  It is deliberately flat and human-editable so
+designs produced by external synthesis tools can be imported, which mirrors
+how the paper treats topology synthesis as an external input.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Union
+
+from repro.errors import SerializationError
+from repro.model.channels import Channel, Link
+from repro.model.design import NocDesign
+from repro.model.routes import Route, RouteSet
+from repro.model.topology import Topology
+from repro.model.traffic import CommunicationGraph
+
+FORMAT_VERSION = 1
+
+
+def design_to_dict(design: NocDesign) -> Dict[str, Any]:
+    """Convert a design to a JSON-serializable dictionary."""
+    topology = design.topology
+    links = []
+    for link in topology.links:
+        links.append(
+            {
+                "src": link.src,
+                "dst": link.dst,
+                "index": link.index,
+                "vc_count": topology.vc_count(link),
+                "length_mm": topology.link_length(link),
+            }
+        )
+    flows = []
+    for flow in design.traffic.flows:
+        flows.append(
+            {
+                "name": flow.name,
+                "src": flow.src,
+                "dst": flow.dst,
+                "bandwidth": flow.bandwidth,
+                "packet_size_flits": flow.packet_size_flits,
+            }
+        )
+    routes = {}
+    for flow_name, route in design.routes.items():
+        routes[flow_name] = [
+            {"src": ch.src, "dst": ch.dst, "index": ch.link.index, "vc": ch.vc}
+            for ch in route
+        ]
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": design.name,
+        "topology": {
+            "name": topology.name,
+            "switches": topology.switches,
+            "links": links,
+        },
+        "traffic": {
+            "name": design.traffic.name,
+            "cores": design.traffic.cores,
+            "flows": flows,
+        },
+        "core_map": dict(sorted(design.core_map.items())),
+        "routes": routes,
+    }
+
+
+def design_from_dict(data: Dict[str, Any]) -> NocDesign:
+    """Rebuild a design from the dictionary produced by :func:`design_to_dict`."""
+    try:
+        version = data.get("format_version", FORMAT_VERSION)
+        if version != FORMAT_VERSION:
+            raise SerializationError(
+                f"unsupported design format version {version} (expected {FORMAT_VERSION})"
+            )
+        topo_data = data["topology"]
+        topology = Topology(topo_data.get("name", "topology"))
+        topology.add_switches(topo_data["switches"])
+        for entry in topo_data["links"]:
+            link = topology.add_link(
+                entry["src"],
+                entry["dst"],
+                index=entry.get("index", 0),
+                vc_count=entry.get("vc_count", 1),
+            )
+            if "length_mm" in entry:
+                topology.set_link_length(link, entry["length_mm"])
+
+        traffic_data = data["traffic"]
+        traffic = CommunicationGraph(traffic_data.get("name", "traffic"))
+        traffic.add_cores(traffic_data["cores"])
+        for entry in traffic_data["flows"]:
+            traffic.add_flow(
+                entry["name"],
+                entry["src"],
+                entry["dst"],
+                entry.get("bandwidth", 1.0),
+                entry.get("packet_size_flits", 8),
+            )
+
+        routes = RouteSet()
+        for flow_name, channel_entries in data.get("routes", {}).items():
+            channels = [
+                Channel(Link(e["src"], e["dst"], e.get("index", 0)), e.get("vc", 0))
+                for e in channel_entries
+            ]
+            routes.set_route(flow_name, Route(channels))
+
+        design = NocDesign(
+            name=data.get("name", "design"),
+            topology=topology,
+            traffic=traffic,
+            core_map=dict(data.get("core_map", {})),
+            routes=routes,
+        )
+        return design
+    except SerializationError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise SerializationError(f"malformed design document: {exc}") from exc
+
+
+def save_design(design: NocDesign, path: Union[str, Path]) -> Path:
+    """Write a design to ``path`` as JSON and return the path."""
+    path = Path(path)
+    try:
+        path.write_text(json.dumps(design_to_dict(design), indent=2, sort_keys=True))
+    except OSError as exc:
+        raise SerializationError(f"could not write design to {path}: {exc}") from exc
+    return path
+
+
+def load_design(path: Union[str, Path]) -> NocDesign:
+    """Read a design previously written by :func:`save_design`."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SerializationError(f"could not read design from {path}: {exc}") from exc
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SerializationError(f"invalid JSON in {path}: {exc}") from exc
+    return design_from_dict(data)

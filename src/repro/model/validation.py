@@ -1,0 +1,118 @@
+"""Whole-design consistency checks.
+
+The checks here are what make the library safe to compose: the topology
+synthesizer, the deadlock remover, the resource-ordering baseline and the
+simulator all call :func:`validate_design` at their boundaries so a broken
+intermediate design is caught where it is produced rather than three stages
+later.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import ValidationError
+from repro.model.design import NocDesign
+
+
+def validate_topology(design: NocDesign) -> List[str]:
+    """Topology-level findings (empty list when healthy)."""
+    problems: List[str] = []
+    topology = design.topology
+    if topology.switch_count == 0:
+        problems.append("topology has no switches")
+    if topology.switch_count > 1 and not topology.is_connected():
+        problems.append("topology is not connected")
+    for link in topology.links:
+        if topology.vc_count(link) < 1:
+            problems.append(f"link {link.name} has no virtual channels")
+    return problems
+
+
+def validate_core_mapping(design: NocDesign) -> List[str]:
+    """Core-to-switch mapping findings."""
+    problems: List[str] = []
+    for core in design.traffic.cores:
+        if core not in design.core_map:
+            problems.append(f"core {core!r} is not attached to any switch")
+        elif not design.topology.has_switch(design.core_map[core]):
+            problems.append(
+                f"core {core!r} is attached to unknown switch {design.core_map[core]!r}"
+            )
+    for core in design.core_map:
+        if not design.traffic.has_core(core):
+            problems.append(f"core mapping mentions unknown core {core!r}")
+    return problems
+
+
+def validate_routes(design: NocDesign, require_all: bool = True) -> List[str]:
+    """Route findings: existence, channel validity, endpoint correctness."""
+    problems: List[str] = []
+    topology = design.topology
+    for flow in design.traffic.flows:
+        if not design.routes.has_route(flow.name):
+            if require_all:
+                src_sw = design.core_map.get(flow.src)
+                dst_sw = design.core_map.get(flow.dst)
+                if src_sw is not None and src_sw == dst_sw:
+                    # Cores on the same switch legitimately need no route.
+                    continue
+                problems.append(f"flow {flow.name!r} has no route")
+            continue
+        route = design.routes.route(flow.name)
+        for channel in route:
+            if not topology.has_link(channel.link):
+                problems.append(
+                    f"flow {flow.name!r}: route uses unknown link {channel.link.name}"
+                )
+            elif not topology.has_channel(channel):
+                problems.append(
+                    f"flow {flow.name!r}: route uses VC {channel.vc} on link "
+                    f"{channel.link.name} but the link only has "
+                    f"{topology.vc_count(channel.link)} VC(s)"
+                )
+        src_switch = design.core_map.get(flow.src)
+        dst_switch = design.core_map.get(flow.dst)
+        if src_switch is not None and route.source_switch != src_switch:
+            problems.append(
+                f"flow {flow.name!r}: route starts at {route.source_switch!r} but the "
+                f"source core {flow.src!r} is attached to {src_switch!r}"
+            )
+        if dst_switch is not None and route.destination_switch != dst_switch:
+            problems.append(
+                f"flow {flow.name!r}: route ends at {route.destination_switch!r} but the "
+                f"destination core {flow.dst!r} is attached to {dst_switch!r}"
+            )
+        seen = set()
+        for channel in route:
+            if channel in seen:
+                problems.append(
+                    f"flow {flow.name!r}: route traverses channel {channel.name} twice"
+                )
+                break
+            seen.add(channel)
+    for flow_name in design.routes.flow_names:
+        if not design.traffic.has_flow(flow_name):
+            problems.append(f"route defined for unknown flow {flow_name!r}")
+    return problems
+
+
+def collect_problems(design: NocDesign, require_all_routes: bool = True) -> List[str]:
+    """All findings from every validation pass."""
+    problems = []
+    problems.extend(validate_topology(design))
+    problems.extend(validate_core_mapping(design))
+    problems.extend(validate_routes(design, require_all=require_all_routes))
+    return problems
+
+
+def validate_design(design: NocDesign, require_all_routes: bool = True) -> None:
+    """Raise :class:`~repro.errors.ValidationError` when any check fails."""
+    problems = collect_problems(design, require_all_routes=require_all_routes)
+    if problems:
+        raise ValidationError(problems)
+
+
+def is_valid(design: NocDesign, require_all_routes: bool = True) -> bool:
+    """True when :func:`validate_design` would not raise."""
+    return not collect_problems(design, require_all_routes=require_all_routes)

@@ -1,0 +1,62 @@
+"""Analytic link power and area model.
+
+Links are modelled as repeated global wires: dynamic energy proportional to
+switched capacitance (length x width x activity), leakage and repeater area
+proportional to length x width.  Coefficients are 65 nm-calibrated like the
+router model; only relative magnitudes matter for the paper's comparisons.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import PowerModelError
+from repro.power.orion import TechnologyParameters
+
+#: Reference coefficients at 65 nm, 1.1 V.
+_LINK_COEFFICIENTS = {
+    "wire_energy_pj_per_bit_mm": 0.18,      # one bit toggling over 1 mm
+    "wire_leakage_mw_per_bit_mm": 0.0006,   # repeater leakage
+    "repeater_area_um2_per_bit_mm": 2.4,
+}
+
+
+@dataclass
+class LinkPowerModel:
+    """Power/area model of one physical inter-switch link."""
+
+    tech: TechnologyParameters = TechnologyParameters()
+
+    def dynamic_power_mw(self, length_mm: float, load: float) -> float:
+        """Dynamic power of the link at average ``load`` (0..1)."""
+        if length_mm <= 0:
+            raise PowerModelError(f"link length must be positive, got {length_mm}")
+        load = min(max(load, 0.0), 1.0)
+        bits_per_second = load * self.tech.frequency_hz * self.tech.flit_width_bits
+        energy_pj = _LINK_COEFFICIENTS["wire_energy_pj_per_bit_mm"] * length_mm
+        energy_pj *= (self.tech.scale ** 2) * (self.tech.voltage / 1.1) ** 2
+        return bits_per_second * energy_pj * 1e-12 * 1e3
+
+    def leakage_power_mw(self, length_mm: float) -> float:
+        """Leakage power of the link's repeaters."""
+        if length_mm <= 0:
+            raise PowerModelError(f"link length must be positive, got {length_mm}")
+        leak = _LINK_COEFFICIENTS["wire_leakage_mw_per_bit_mm"]
+        leak *= self.tech.flit_width_bits * length_mm * self.tech.scale
+        leak *= self.tech.voltage / 1.1
+        return leak
+
+    def total_power_mw(self, length_mm: float, load: float) -> float:
+        """Dynamic + leakage power of the link."""
+        return self.dynamic_power_mw(length_mm, load) + self.leakage_power_mw(length_mm)
+
+    def area_um2(self, length_mm: float) -> float:
+        """Repeater/driver area of the link in square micrometres."""
+        if length_mm <= 0:
+            raise PowerModelError(f"link length must be positive, got {length_mm}")
+        area = _LINK_COEFFICIENTS["repeater_area_um2_per_bit_mm"]
+        return area * self.tech.flit_width_bits * length_mm * (self.tech.scale ** 2)
+
+    def area_mm2(self, length_mm: float) -> float:
+        """Repeater/driver area of the link in square millimetres."""
+        return self.area_um2(length_mm) / 1e6

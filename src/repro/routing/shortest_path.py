@@ -1,0 +1,163 @@
+"""Deterministic shortest-path route computation.
+
+The paper takes routes as an input ("the description of the routes"); in
+practice they come from the topology-synthesis tool, which routes every flow
+on a weighted shortest path.  This module provides that routing function for
+our synthesis substrate and for user-built topologies.
+
+Routes are computed per flow with Dijkstra's algorithm over the switch
+graph.  Edge weights can be pure hop count, static link weights or
+congestion-aware weights (previously routed bandwidth inflates a link's
+cost), all with deterministic tie-breaking so repeated runs produce
+identical designs.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RouteError
+from repro.model.channels import Channel, Link
+from repro.model.design import NocDesign
+from repro.model.routes import Route, RouteSet
+from repro.model.topology import Topology
+
+WEIGHT_HOPS = "hops"
+WEIGHT_CONGESTION = "congestion"
+_WEIGHT_MODES = (WEIGHT_HOPS, WEIGHT_CONGESTION)
+
+
+def _dijkstra(
+    topology: Topology,
+    source: str,
+    target: str,
+    link_weights: Dict[Link, float],
+) -> Optional[List[Link]]:
+    """Cheapest link path from ``source`` to ``target`` (None if unreachable).
+
+    Ties are broken by the lexicographic order of the switch sequence, which
+    makes the routing function deterministic regardless of dict ordering.
+    """
+    if source == target:
+        return []
+    # priority queue entries: (cost, path_switch_names, current, links)
+    heap: List[Tuple[float, Tuple[str, ...], str, Tuple[Link, ...]]] = [
+        (0.0, (source,), source, ())
+    ]
+    best: Dict[str, float] = {}
+    while heap:
+        cost, names, current, links = heapq.heappop(heap)
+        if current == target:
+            return list(links)
+        if current in best and best[current] < cost - 1e-12:
+            continue
+        best[current] = min(best.get(current, float("inf")), cost)
+        for link in topology.out_links(current):
+            step = link_weights.get(link, 1.0)
+            next_cost = cost + step
+            if link.dst in best and best[link.dst] < next_cost - 1e-12:
+                continue
+            heapq.heappush(
+                heap,
+                (next_cost, names + (link.dst,), link.dst, links + (link,)),
+            )
+    return None
+
+
+def shortest_route(
+    topology: Topology,
+    source_switch: str,
+    destination_switch: str,
+    *,
+    link_weights: Optional[Dict[Link, float]] = None,
+) -> Route:
+    """Shortest route between two switches (VC 0 on every hop).
+
+    Raises :class:`~repro.errors.RouteError` when no path exists or when the
+    two switches are identical (a same-switch flow needs no network route).
+    """
+    if source_switch == destination_switch:
+        raise RouteError(
+            f"source and destination switch are both {source_switch!r}; "
+            "no network route is needed"
+        )
+    links = _dijkstra(topology, source_switch, destination_switch, link_weights or {})
+    if links is None:
+        raise RouteError(
+            f"no path from {source_switch!r} to {destination_switch!r} in topology "
+            f"{topology.name!r}"
+        )
+    return Route([Channel(link, 0) for link in links])
+
+
+def compute_routes(
+    design: NocDesign,
+    *,
+    weight_mode: str = WEIGHT_CONGESTION,
+    congestion_factor: float = 0.5,
+    overwrite: bool = True,
+) -> RouteSet:
+    """Compute routes for every flow of a design and store them on it.
+
+    Parameters
+    ----------
+    weight_mode:
+        ``"hops"`` routes every flow on a minimum-hop path; ``"congestion"``
+        (default) additionally inflates the weight of links proportionally
+        to the bandwidth already routed over them, spreading heavy flows.
+    congestion_factor:
+        Strength of the congestion term (0 disables it even in congestion
+        mode).
+    overwrite:
+        When false, flows that already have a route keep it.
+
+    Flows whose endpoints map to the same switch get no route (they never
+    enter the network).  Returns the design's route set.
+    """
+    if weight_mode not in _WEIGHT_MODES:
+        raise RouteError(f"unknown weight mode {weight_mode!r}")
+    topology = design.topology
+    routed_bandwidth: Dict[Link, float] = {link: 0.0 for link in topology.links}
+    total_bandwidth = max(design.traffic.total_bandwidth, 1e-9)
+
+    # Route heavy flows first so they get the short paths and light flows
+    # detour around them — the usual NoC mapping practice.
+    flows = sorted(design.traffic.flows, key=lambda f: (-f.bandwidth, f.name))
+    for flow in flows:
+        if not overwrite and design.routes.has_route(flow.name):
+            for channel in design.routes.route(flow.name):
+                routed_bandwidth[channel.link] += flow.bandwidth
+            continue
+        src_switch = design.switch_of(flow.src)
+        dst_switch = design.switch_of(flow.dst)
+        if src_switch == dst_switch:
+            if design.routes.has_route(flow.name):
+                design.routes.remove_route(flow.name)
+            continue
+        if weight_mode == WEIGHT_HOPS or congestion_factor == 0:
+            weights = {link: 1.0 for link in topology.links}
+        else:
+            weights = {
+                link: 1.0 + congestion_factor * routed_bandwidth[link] / total_bandwidth
+                for link in topology.links
+            }
+        route = shortest_route(topology, src_switch, dst_switch, link_weights=weights)
+        design.routes.set_route(flow.name, route)
+        for channel in route:
+            routed_bandwidth[channel.link] += flow.bandwidth
+    return design.routes
+
+
+def average_hop_count(design: NocDesign) -> float:
+    """Bandwidth-weighted average route length (a common NoC quality metric)."""
+    total_weight = 0.0
+    total_hops = 0.0
+    for flow in design.traffic.flows:
+        if not design.routes.has_route(flow.name):
+            continue
+        total_weight += flow.bandwidth
+        total_hops += flow.bandwidth * design.routes.route(flow.name).hop_count
+    if total_weight == 0:
+        return 0.0
+    return total_hops / total_weight

@@ -1,0 +1,92 @@
+"""Per-switch routing tables derived from a route set.
+
+A real NoC switch does not store whole routes; it stores, per (input,
+destination) pair — or per flow with source routing — which output channel
+to use.  This module derives those tables from a
+:class:`~repro.model.routes.RouteSet`.  The wormhole simulator uses source
+routing (the route travels in the packet header), so the tables here exist
+for completeness of the substrate: exporting a design to RTL or to another
+simulator needs them, and they also give a convenient way to check route
+consistency per switch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import RouteError
+from repro.model.channels import Channel
+from repro.model.design import NocDesign
+
+
+@dataclass
+class RoutingTable:
+    """Routing table of a single switch.
+
+    ``entries`` maps ``(flow_name, incoming_channel_or_None)`` to the output
+    channel the flow takes at this switch.  ``None`` as the incoming channel
+    means the flow is injected locally at this switch (its source core is
+    attached here).
+    """
+
+    switch: str
+    entries: Dict[Tuple[str, Optional[Channel]], Channel] = field(default_factory=dict)
+
+    def add_entry(
+        self, flow_name: str, incoming: Optional[Channel], outgoing: Channel
+    ) -> None:
+        """Add one table entry; conflicting duplicates are an error."""
+        key = (flow_name, incoming)
+        existing = self.entries.get(key)
+        if existing is not None and existing != outgoing:
+            raise RouteError(
+                f"switch {self.switch!r}: conflicting routing entries for flow "
+                f"{flow_name!r}: {existing.name} vs {outgoing.name}"
+            )
+        self.entries[key] = outgoing
+
+    def lookup(self, flow_name: str, incoming: Optional[Channel]) -> Channel:
+        """Output channel for a flow arriving on ``incoming`` (None = local)."""
+        try:
+            return self.entries[(flow_name, incoming)]
+        except KeyError:
+            raise RouteError(
+                f"switch {self.switch!r} has no routing entry for flow {flow_name!r} "
+                f"arriving on {incoming.name if incoming else 'local port'}"
+            ) from None
+
+    def output_channels(self) -> List[Channel]:
+        """Distinct output channels used by this switch, sorted."""
+        return sorted(set(self.entries.values()))
+
+    @property
+    def entry_count(self) -> int:
+        """Number of table entries."""
+        return len(self.entries)
+
+
+def build_routing_tables(design: NocDesign) -> Dict[str, RoutingTable]:
+    """Build one :class:`RoutingTable` per switch from the design's routes."""
+    tables: Dict[str, RoutingTable] = {
+        switch: RoutingTable(switch) for switch in design.topology.switches
+    }
+    for flow_name, route in design.routes.items():
+        previous: Optional[Channel] = None
+        for channel in route:
+            switch = channel.src
+            if switch not in tables:
+                raise RouteError(
+                    f"flow {flow_name!r} routes through unknown switch {switch!r}"
+                )
+            tables[switch].add_entry(flow_name, previous, channel)
+            previous = channel
+    return tables
+
+
+def table_sizes(design: NocDesign) -> Dict[str, int]:
+    """Number of routing entries per switch (a proxy for routing-logic cost)."""
+    return {
+        switch: table.entry_count
+        for switch, table in build_routing_tables(design).items()
+    }

@@ -1,0 +1,85 @@
+"""Per-virtual-channel input buffers.
+
+Each channel (link + VC) has one FIFO buffer at its downstream router.  The
+buffer depth is what credit-based flow control tracks: a flit may only be
+sent over a channel when the downstream FIFO has a free slot.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Optional
+
+from repro.errors import SimulationError
+from repro.simulation.flit import Flit
+
+
+class VirtualChannelBuffer:
+    """Bounded FIFO of flits belonging to (at most) one packet at a time.
+
+    Wormhole flow control interleaves packets only at the VC granularity, so
+    a single VC buffer always holds a contiguous run of flits of the same
+    packet; the class enforces that invariant to catch allocator bugs early.
+    """
+
+    def __init__(self, capacity: int):
+        if capacity < 1:
+            raise SimulationError(f"buffer capacity must be at least 1, got {capacity}")
+        self.capacity = capacity
+        self._fifo: Deque[Flit] = deque()
+        self._current_packet_id: Optional[int] = None
+
+    @property
+    def occupancy(self) -> int:
+        """Number of flits currently stored."""
+        return len(self._fifo)
+
+    @property
+    def free_slots(self) -> int:
+        """Number of flits that can still be accepted."""
+        return self.capacity - len(self._fifo)
+
+    @property
+    def is_empty(self) -> bool:
+        """True when the buffer holds no flit."""
+        return not self._fifo
+
+    def can_accept(self, flit: Flit) -> bool:
+        """True when ``flit`` may be pushed (space and packet continuity)."""
+        if self.free_slots <= 0:
+            return False
+        if self._current_packet_id is None:
+            return True
+        return flit.packet.packet_id == self._current_packet_id
+
+    def push(self, flit: Flit) -> None:
+        """Append a flit (raises when the buffer cannot accept it)."""
+        if not self.can_accept(flit):
+            raise SimulationError(
+                "buffer overflow or packet interleaving: cannot accept "
+                f"{flit!r} (occupancy {self.occupancy}/{self.capacity})"
+            )
+        self._fifo.append(flit)
+        self._current_packet_id = flit.packet.packet_id
+
+    def peek(self) -> Optional[Flit]:
+        """The head-of-line flit without removing it (None when empty)."""
+        return self._fifo[0] if self._fifo else None
+
+    def pop(self) -> Flit:
+        """Remove and return the head-of-line flit."""
+        if not self._fifo:
+            raise SimulationError("cannot pop from an empty buffer")
+        flit = self._fifo.popleft()
+        if not self._fifo and flit.is_tail:
+            # The packet has completely left this buffer; a new packet may
+            # now be accepted.
+            self._current_packet_id = None
+        elif not self._fifo and not flit.is_tail:
+            # Buffer drained mid-packet: keep the reservation so another
+            # packet cannot sneak in between body flits.
+            pass
+        return flit
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VirtualChannelBuffer({self.occupancy}/{self.capacity})"

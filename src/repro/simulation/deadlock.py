@@ -1,0 +1,87 @@
+"""Runtime deadlock detection.
+
+Two mechanisms, combined:
+
+* a **no-progress watchdog** — if no flit has moved for a configurable
+  number of cycles while flits are buffered inside the network, the run is
+  stalled;
+* a **wait-for-graph check** — the channels currently holding flits are
+  connected to the channels their head-of-line flits need next; a directed
+  cycle among those edges is a wormhole routing deadlock (the runtime
+  manifestation of a CDG cycle).
+
+The watchdog alone could confuse extreme congestion with deadlock; the
+wait-for cycle makes the verdict exact, and reporting the channels on the
+cycle makes the diagnosis actionable.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+import networkx as nx
+
+from repro.model.channels import Channel
+from repro.simulation.network import WormholeNetwork
+
+
+def find_wait_cycle(network: WormholeNetwork) -> Optional[List[Channel]]:
+    """A cycle in the channel wait-for graph, or None.
+
+    Only channels that currently hold flits can take part: an empty channel
+    never blocks anyone.
+    """
+    edges = network.wait_for_edges()
+    if not edges:
+        return None
+    occupied = {edge[0] for edge in edges}
+    graph = nx.DiGraph()
+    for src, dst in edges:
+        if dst in occupied:
+            graph.add_edge(src, dst)
+    try:
+        cycle_edges = nx.find_cycle(graph, orientation="original")
+    except nx.NetworkXNoCycle:
+        return None
+    return [edge[0] for edge in cycle_edges]
+
+
+class DeadlockMonitor:
+    """Tracks progress and decides when the network is deadlocked.
+
+    Parameters
+    ----------
+    watchdog_cycles:
+        Number of consecutive cycles without any flit movement (while flits
+        are buffered in the network) after which the wait-for graph is
+        examined.
+    """
+
+    def __init__(self, watchdog_cycles: int = 200):
+        self.watchdog_cycles = watchdog_cycles
+        self._idle_cycles = 0
+
+    def record_cycle(self, network: WormholeNetwork, transfers: int) -> Optional[List[Channel]]:
+        """Update the watchdog after one cycle.
+
+        Returns the list of channels on a wait-for cycle when a deadlock is
+        confirmed, otherwise ``None``.
+        """
+        if transfers > 0 or network.flits_in_network() == 0:
+            self._idle_cycles = 0
+            return None
+        self._idle_cycles += 1
+        if self._idle_cycles < self.watchdog_cycles:
+            return None
+        cycle = find_wait_cycle(network)
+        if cycle is None:
+            # Stalled but no cyclic wait (e.g. the injection process simply
+            # stopped); reset so the watchdog can trip again later.
+            self._idle_cycles = 0
+            return None
+        return cycle
+
+    @property
+    def idle_cycles(self) -> int:
+        """Consecutive cycles without progress seen so far."""
+        return self._idle_cycles

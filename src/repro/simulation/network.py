@@ -1,0 +1,231 @@
+"""The wormhole network: flit movement across routers, cycle by cycle.
+
+Scheduling model (one call to :meth:`WormholeNetwork.step` = one clock
+cycle):
+
+* every outgoing **physical link** moves at most one flit per cycle; its
+  virtual channels are served round-robin;
+* an outgoing **channel** (link + VC) is owned by at most one packet from
+  the head flit until the tail flit has crossed it (wormhole allocation);
+  free channels are granted round-robin among the requesting input buffers
+  and injection queues of the upstream router;
+* a flit advances only when the downstream input buffer of the channel has
+  a free slot (credit-based flow control with zero credit latency); the
+  final hop ejects directly into the destination network interface, which
+  is never back-pressured;
+* a flit moves at most one hop per cycle.
+
+These rules are exactly the preconditions of the CDG-based deadlock
+analysis: packets hold channels while waiting for the next channel of their
+route, so a cyclic channel dependency can (and under pressure does) turn
+into a cyclic wait.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.errors import SimulationError
+from repro.model.channels import Channel, Link
+from repro.model.design import NocDesign
+from repro.simulation.flit import Flit, Packet, make_flits
+from repro.simulation.router import Router, SourceKey, buffer_source, injection_source
+from repro.simulation.stats import SimulationStats
+
+
+class WormholeNetwork:
+    """All routers of a design plus the global flit-movement scheduler."""
+
+    def __init__(self, design: NocDesign, *, buffer_depth: int = 4):
+        self.design = design
+        self.buffer_depth = buffer_depth
+        self.routers: Dict[str, Router] = {}
+        self._pending_arrivals: List[Tuple[Channel, Flit]] = []
+        self._build()
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    def _build(self) -> None:
+        topology = self.design.topology
+        for switch in topology.switches:
+            self.routers[switch] = Router(switch, self.buffer_depth)
+        for channel in topology.channels():
+            self.routers[channel.dst].add_input_channel(channel)
+            self.routers[channel.src].add_output_channel(channel)
+        for flow in self.design.traffic.flows:
+            if not self.design.routes.has_route(flow.name):
+                continue
+            source_switch = self.design.switch_of(flow.src)
+            self.routers[source_switch].add_injection_flow(flow.name)
+
+    # ------------------------------------------------------------------
+    # injection
+    # ------------------------------------------------------------------
+    def inject(self, packet: Packet) -> None:
+        """Queue all flits of ``packet`` at its source router."""
+        source_switch = self.design.switch_of(
+            self.design.traffic.flow(packet.flow_name).src
+        )
+        router = self.routers[source_switch]
+        if packet.flow_name not in router.injection_queues:
+            raise SimulationError(
+                f"flow {packet.flow_name!r} has no injection queue at {source_switch!r}"
+            )
+        for flit in make_flits(packet):
+            router.injection_queues[packet.flow_name].append(flit)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    def flits_in_network(self) -> int:
+        """Flits stored in input buffers (excludes injection queues)."""
+        return sum(router.buffered_flits() for router in self.routers.values())
+
+    def flits_pending_injection(self) -> int:
+        """Flits still waiting in injection queues."""
+        return sum(router.pending_injection_flits() for router in self.routers.values())
+
+    def buffer_of(self, channel: Channel):
+        """The downstream input buffer of ``channel``."""
+        return self.routers[channel.dst].input_buffers[channel]
+
+    def wait_for_edges(self) -> List[Tuple[Channel, Channel]]:
+        """Channel wait-for edges: occupied channel -> channel its head flit needs.
+
+        Used by the deadlock detector: a cycle among *blocked* channels is a
+        wormhole deadlock.
+        """
+        edges: List[Tuple[Channel, Channel]] = []
+        for router in self.routers.values():
+            for channel, buffer in router.input_buffers.items():
+                head = buffer.peek()
+                if head is None:
+                    continue
+                wanted = head.next_channel
+                if wanted is not None:
+                    edges.append((channel, wanted))
+        return edges
+
+    # ------------------------------------------------------------------
+    # one simulation cycle
+    # ------------------------------------------------------------------
+    def step(self, cycle: int, stats: SimulationStats) -> int:
+        """Advance the network by one cycle; returns the number of flit moves.
+
+        The cycle is evaluated in two phases: every router decides and
+        commits its transfers against the *start-of-cycle* buffer state (a
+        flit sent this cycle is parked in ``_pending_arrivals``), and only
+        after all routers have been served are the arrivals pushed into the
+        downstream buffers.  Without this, a flit could traverse a buffer
+        that another router already inspected this cycle, making the
+        schedule depend on the processing order of the switches.
+        """
+        moved_flits: Set[int] = set()
+        self._pending_arrivals: List[Tuple[Channel, Flit]] = []
+        transfers = 0
+        for switch in sorted(self.routers):
+            transfers += self._step_router(self.routers[switch], cycle, stats, moved_flits)
+        for channel, flit in self._pending_arrivals:
+            self.buffer_of(channel).push(flit)
+        self._pending_arrivals = []
+        stats.flit_transfers += transfers
+        return transfers
+
+    # ------------------------------------------------------------------
+    def _step_router(
+        self,
+        router: Router,
+        cycle: int,
+        stats: SimulationStats,
+        moved_flits: Set[int],
+    ) -> int:
+        transfers = 0
+        out_links = sorted({channel.link for channel in router.output_owner})
+        for link in out_links:
+            channels = sorted(
+                (c for c in router.output_owner if c.link == link),
+                key=lambda c: c.vc,
+            )
+            if not channels:
+                continue
+            start = router.link_pointer[link] % len(channels)
+            ordered = channels[start:] + channels[:start]
+            for channel in ordered:
+                if self._try_transfer(router, channel, cycle, stats, moved_flits):
+                    transfers += 1
+                    # one flit per physical link per cycle; advance the VC
+                    # round-robin pointer past the channel that was served
+                    router.link_pointer[link] = (channels.index(channel) + 1) % len(channels)
+                    break
+        return transfers
+
+    def _try_transfer(
+        self,
+        router: Router,
+        channel: Channel,
+        cycle: int,
+        stats: SimulationStats,
+        moved_flits: Set[int],
+    ) -> bool:
+        """Attempt to move one flit over ``channel``; returns True on success."""
+        source = self._resolve_owner(router, channel)
+        if source is None:
+            return False
+        flit = router.source_head(source)
+        if flit is None:
+            return False
+        if id(flit) in moved_flits:
+            return False
+        if flit.next_channel != channel:
+            return False
+        if flit.packet.packet_id != router.output_owner[channel]:
+            return False
+
+        is_last_hop = flit.hops_done == len(flit.packet.route) - 1
+        if not is_last_hop:
+            downstream = self.buffer_of(channel)
+            if not downstream.can_accept(flit):
+                return False
+
+        # Commit the transfer.
+        router.pop_source(source)
+        flit.hops_done += 1
+        moved_flits.add(id(flit))
+        stats.channel_busy_cycles[channel] = stats.channel_busy_cycles.get(channel, 0) + 1
+        if flit.is_tail:
+            router.output_owner[channel] = None
+            router.output_source[channel] = None
+        if is_last_hop:
+            stats.flits_delivered += 1
+            if flit.is_tail:
+                flit.packet.delivered_cycle = cycle
+                stats.packets_delivered += 1
+                stats.latencies.append(flit.packet.latency)
+        else:
+            self._pending_arrivals.append((channel, flit))
+        return True
+
+    def _resolve_owner(self, router: Router, channel: Channel) -> Optional[SourceKey]:
+        """Current source feeding ``channel``, allocating it when it is free."""
+        if router.output_owner[channel] is not None:
+            return router.output_source[channel]
+
+        # Switch/VC allocation: find a source whose head flit is a head flit
+        # requesting this channel, round-robin over the router's sources.
+        sources = router.all_sources()
+        if not sources:
+            return None
+        start = router.alloc_pointer[channel] % len(sources)
+        ordered = sources[start:] + sources[:start]
+        for offset, source in enumerate(ordered):
+            head = router.source_head(source)
+            if head is None or not head.is_head:
+                continue
+            if head.next_channel != channel:
+                continue
+            router.output_owner[channel] = head.packet.packet_id
+            router.output_source[channel] = source
+            router.alloc_pointer[channel] = (start + offset + 1) % len(sources)
+            return source
+        return None

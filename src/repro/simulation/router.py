@@ -1,0 +1,112 @@
+"""Per-switch router state.
+
+A :class:`Router` owns the input buffers of its incoming channels, the
+injection queues of the flows sourced at its switch and the wormhole
+ownership state of its outgoing channels.  The cycle-by-cycle movement of
+flits is coordinated by :class:`repro.simulation.network.WormholeNetwork`,
+because a transfer needs both the upstream router (ownership, arbitration)
+and the downstream router (buffer space).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple, Union
+
+from repro.model.channels import Channel, Link
+from repro.simulation.buffers import VirtualChannelBuffer
+from repro.simulation.flit import Flit
+
+#: A flit source inside a router: either the input buffer of an incoming
+#: channel or the injection queue of a locally sourced flow.
+SourceKey = Tuple[str, Union[Channel, str]]
+
+
+def buffer_source(channel: Channel) -> SourceKey:
+    """Source key for the input buffer of ``channel``."""
+    return ("buffer", channel)
+
+
+def injection_source(flow_name: str) -> SourceKey:
+    """Source key for the injection queue of ``flow_name``."""
+    return ("injection", flow_name)
+
+
+class Router:
+    """State of one switch of the simulated network."""
+
+    def __init__(self, switch: str, buffer_depth: int):
+        self.switch = switch
+        self.buffer_depth = buffer_depth
+        #: Input buffer per incoming channel.
+        self.input_buffers: Dict[Channel, VirtualChannelBuffer] = {}
+        #: Injection queue per locally sourced flow (flits in order).
+        self.injection_queues: Dict[str, Deque[Flit]] = {}
+        #: Which packet currently owns each outgoing channel (wormhole
+        #: allocation from head to tail), and from which source its flits
+        #: come.
+        self.output_owner: Dict[Channel, Optional[int]] = {}
+        self.output_source: Dict[Channel, Optional[SourceKey]] = {}
+        #: Round-robin pointers: per outgoing link (VC arbitration) and per
+        #: outgoing channel (input arbitration).
+        self.link_pointer: Dict[Link, int] = {}
+        self.alloc_pointer: Dict[Channel, int] = {}
+
+    # ------------------------------------------------------------------
+    # construction helpers
+    # ------------------------------------------------------------------
+    def add_input_channel(self, channel: Channel) -> None:
+        """Register an incoming channel (creates its buffer)."""
+        self.input_buffers[channel] = VirtualChannelBuffer(self.buffer_depth)
+
+    def add_output_channel(self, channel: Channel) -> None:
+        """Register an outgoing channel (creates its ownership slot)."""
+        self.output_owner[channel] = None
+        self.output_source[channel] = None
+        self.link_pointer.setdefault(channel.link, 0)
+        self.alloc_pointer[channel] = 0
+
+    def add_injection_flow(self, flow_name: str) -> None:
+        """Register a locally sourced flow (creates its injection queue)."""
+        self.injection_queues[flow_name] = deque()
+
+    # ------------------------------------------------------------------
+    # queries used by the network scheduler
+    # ------------------------------------------------------------------
+    def source_head(self, source: SourceKey) -> Optional[Flit]:
+        """Head-of-line flit of a source (None when the source is empty)."""
+        kind, key = source
+        if kind == "buffer":
+            return self.input_buffers[key].peek()
+        return self.injection_queues[key][0] if self.injection_queues[key] else None
+
+    def pop_source(self, source: SourceKey) -> Flit:
+        """Remove and return the head-of-line flit of a source."""
+        kind, key = source
+        if kind == "buffer":
+            return self.input_buffers[key].pop()
+        return self.injection_queues[key].popleft()
+
+    def all_sources(self) -> List[SourceKey]:
+        """Every flit source of this router, in deterministic order."""
+        sources: List[SourceKey] = [buffer_source(c) for c in sorted(self.input_buffers)]
+        sources.extend(injection_source(f) for f in sorted(self.injection_queues))
+        return sources
+
+    def occupied_buffers(self) -> List[Channel]:
+        """Incoming channels whose buffer currently holds at least one flit."""
+        return [c for c, buf in self.input_buffers.items() if not buf.is_empty]
+
+    def pending_injection_flits(self) -> int:
+        """Flits still waiting in this router's injection queues."""
+        return sum(len(queue) for queue in self.injection_queues.values())
+
+    def buffered_flits(self) -> int:
+        """Flits currently stored in this router's input buffers."""
+        return sum(buf.occupancy for buf in self.input_buffers.values())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Router({self.switch!r}, buffered={self.buffered_flits()}, "
+            f"pending_injection={self.pending_injection_flits()})"
+        )

@@ -1,0 +1,151 @@
+"""The top-level simulator: traffic generation + network stepping + stats.
+
+Typical use::
+
+    from repro.simulation import Simulator, SimulationConfig
+
+    sim = Simulator(design, SimulationConfig(injection_scale=3.0, seed=1))
+    stats = sim.run(max_cycles=20_000)
+    if stats.deadlock_detected:
+        print("design deadlocked at cycle", stats.deadlock_cycle)
+
+Deadlocks are reported in the returned statistics; pass
+``raise_on_deadlock=True`` to get a :class:`repro.errors.DeadlockDetected`
+exception instead (useful in tests of designs that must be deadlock free).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.errors import DeadlockDetected
+from repro.model.design import NocDesign
+from repro.model.validation import validate_design
+from repro.power.orion import TechnologyParameters
+from repro.simulation.deadlock import DeadlockMonitor
+from repro.simulation.network import WormholeNetwork
+from repro.simulation.stats import SimulationStats
+from repro.simulation.traffic_gen import FlowTrafficGenerator
+
+
+@dataclass
+class SimulationConfig:
+    """Knobs of a simulation run.
+
+    Attributes
+    ----------
+    buffer_depth:
+        Flit capacity of every virtual-channel input buffer.  Deadlocks in
+        cyclic designs appear more readily when packets are longer than the
+        buffers (a packet then spans several routers).
+    injection_scale:
+        Multiplier on the nominal flow bandwidths (1.0 = as specified).
+    watchdog_cycles:
+        No-progress window before the deadlock check runs.
+    seed:
+        Random seed of the traffic generator.
+    tech:
+        Technology parameters (channel capacity used to convert bandwidths
+        into injection rates).
+    """
+
+    buffer_depth: int = 4
+    injection_scale: float = 1.0
+    watchdog_cycles: int = 200
+    seed: int = 0
+    tech: TechnologyParameters = TechnologyParameters()
+
+
+class Simulator:
+    """Flit-level wormhole simulation of one design."""
+
+    def __init__(self, design: NocDesign, config: Optional[SimulationConfig] = None):
+        self.config = config or SimulationConfig()
+        validate_design(design)
+        self.design = design
+        self.network = WormholeNetwork(design, buffer_depth=self.config.buffer_depth)
+        self.generator = FlowTrafficGenerator(
+            design,
+            injection_scale=self.config.injection_scale,
+            tech=self.config.tech,
+            seed=self.config.seed,
+        )
+        self.stats = SimulationStats(design_name=design.name)
+        self.monitor = DeadlockMonitor(watchdog_cycles=self.config.watchdog_cycles)
+        self._cycle = 0
+
+    # ------------------------------------------------------------------
+    def _inject_new_packets(self, cycle: int) -> None:
+        for packet in self.generator.generate(cycle):
+            flow = self.design.traffic.flow(packet.flow_name)
+            src_switch = self.design.switch_of(flow.src)
+            dst_switch = self.design.switch_of(flow.dst)
+            self.stats.packets_injected += 1
+            if src_switch == dst_switch or not packet.route:
+                # Core-to-core traffic behind the same switch never enters
+                # the network: deliver immediately through the local NI.
+                packet.delivered_cycle = cycle + 1
+                self.stats.packets_delivered += 1
+                self.stats.local_deliveries += 1
+                self.stats.flits_delivered += packet.size_flits
+                self.stats.latencies.append(packet.latency)
+                continue
+            self.network.inject(packet)
+
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        max_cycles: int = 10_000,
+        *,
+        drain: bool = True,
+        drain_cycles: int = 5_000,
+        raise_on_deadlock: bool = False,
+    ) -> SimulationStats:
+        """Simulate ``max_cycles`` of injection plus an optional drain phase.
+
+        The drain phase stops injecting and keeps the network running until
+        it empties (or ``drain_cycles`` elapse), so latency statistics are
+        not biased towards short routes.
+        """
+        deadlock_channels = None
+        for _ in range(max_cycles):
+            self._inject_new_packets(self._cycle)
+            transfers = self.network.step(self._cycle, self.stats)
+            deadlock_channels = self.monitor.record_cycle(self.network, transfers)
+            self._cycle += 1
+            if deadlock_channels is not None:
+                break
+
+        if deadlock_channels is None and drain:
+            for _ in range(drain_cycles):
+                if (
+                    self.network.flits_in_network() == 0
+                    and self.network.flits_pending_injection() == 0
+                ):
+                    break
+                transfers = self.network.step(self._cycle, self.stats)
+                deadlock_channels = self.monitor.record_cycle(self.network, transfers)
+                self._cycle += 1
+                if deadlock_channels is not None:
+                    break
+
+        self.stats.cycles_run = self._cycle
+        if deadlock_channels is not None:
+            self.stats.deadlock_cycle = self._cycle
+            self.stats.deadlocked_channels = list(deadlock_channels)
+            if raise_on_deadlock:
+                raise DeadlockDetected(self._cycle, deadlock_channels)
+        return self.stats
+
+
+def simulate_design(
+    design: NocDesign,
+    *,
+    max_cycles: int = 10_000,
+    config: Optional[SimulationConfig] = None,
+    raise_on_deadlock: bool = False,
+) -> SimulationStats:
+    """One-call convenience wrapper around :class:`Simulator`."""
+    simulator = Simulator(design, config)
+    return simulator.run(max_cycles, raise_on_deadlock=raise_on_deadlock)

@@ -1,0 +1,76 @@
+"""Simulation statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.model.channels import Channel
+
+
+@dataclass
+class SimulationStats:
+    """Counters and derived metrics collected by one simulation run."""
+
+    design_name: str
+    cycles_run: int = 0
+    packets_injected: int = 0
+    packets_delivered: int = 0
+    flits_delivered: int = 0
+    flit_transfers: int = 0
+    local_deliveries: int = 0
+    latencies: List[int] = field(default_factory=list)
+    channel_busy_cycles: Dict[Channel, int] = field(default_factory=dict)
+    deadlock_cycle: Optional[int] = None
+    deadlocked_channels: List[Channel] = field(default_factory=list)
+
+    @property
+    def deadlock_detected(self) -> bool:
+        """True when the run ended in (or detected) a deadlock."""
+        return self.deadlock_cycle is not None
+
+    @property
+    def packets_in_flight(self) -> int:
+        """Packets injected but not delivered when the run stopped."""
+        return self.packets_injected - self.packets_delivered
+
+    @property
+    def average_latency(self) -> float:
+        """Mean packet latency in cycles (0 when nothing was delivered)."""
+        if not self.latencies:
+            return 0.0
+        return sum(self.latencies) / len(self.latencies)
+
+    @property
+    def max_latency(self) -> int:
+        """Worst packet latency in cycles (0 when nothing was delivered)."""
+        return max(self.latencies) if self.latencies else 0
+
+    @property
+    def throughput_flits_per_cycle(self) -> float:
+        """Delivered flits per simulated cycle."""
+        if self.cycles_run == 0:
+            return 0.0
+        return self.flits_delivered / self.cycles_run
+
+    def channel_utilization(self, channel: Channel) -> float:
+        """Fraction of cycles ``channel`` transferred a flit."""
+        if self.cycles_run == 0:
+            return 0.0
+        return self.channel_busy_cycles.get(channel, 0) / self.cycles_run
+
+    def summary(self) -> str:
+        """Multi-line human-readable report."""
+        lines = [
+            f"Simulation of {self.design_name!r} ({self.cycles_run} cycles)",
+            f"  packets injected  : {self.packets_injected}",
+            f"  packets delivered : {self.packets_delivered}",
+            f"  average latency   : {self.average_latency:.1f} cycles",
+            f"  throughput        : {self.throughput_flits_per_cycle:.3f} flits/cycle",
+        ]
+        if self.deadlock_detected:
+            lines.append(
+                f"  DEADLOCK at cycle {self.deadlock_cycle} "
+                f"({len(self.deadlocked_channels)} channels in cyclic wait)"
+            )
+        return "\n".join(lines)

@@ -1,0 +1,240 @@
+"""Application-specific switch network construction.
+
+Stand-in for the external topology-synthesis tool the paper uses to generate
+its input designs.  The flow is the standard one for custom NoC synthesis:
+
+1. cluster cores onto switches weighted by their mutual bandwidth
+   (:mod:`repro.synthesis.partition`);
+2. connect the switches with a traffic-weighted spanning backbone so every
+   flow has a path;
+3. spend an extra-link budget on direct links between the switch pairs that
+   exchange the most traffic, subject to a switch-degree budget (custom
+   NoCs keep switch radix small because crossbar area grows quadratically);
+4. route every flow on a congestion-aware deterministic shortest path.
+
+Step 3 is what makes the resulting designs interesting for deadlock
+analysis: shortcut links superimposed on the backbone create cyclic channel
+dependencies for sufficiently dense traffic, which is exactly the situation
+the paper's removal algorithm targets.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import SynthesisError
+from repro.model.design import NocDesign
+from repro.model.topology import Topology
+from repro.model.traffic import CommunicationGraph
+from repro.model.validation import validate_design
+from repro.routing.shortest_path import WEIGHT_CONGESTION, compute_routes
+from repro.routing.turns import compute_updown_routes
+from repro.synthesis.floorplan import assign_link_lengths
+from repro.synthesis.partition import partition_cores
+
+ROUTING_SHORTEST = "shortest"
+ROUTING_UPDOWN = "updown"
+_ROUTINGS = (ROUTING_SHORTEST, ROUTING_UPDOWN)
+
+
+@dataclass
+class SynthesisConfig:
+    """Knobs of the topology synthesizer.
+
+    Attributes
+    ----------
+    n_switches:
+        Number of switches of the generated topology.
+    extra_link_fraction:
+        Size of the shortcut-link budget as a fraction of the switch count
+        (0.0 gives a pure spanning backbone, larger values give denser,
+        more cycle-prone topologies).
+    max_switch_degree:
+        Maximum number of distinct neighbour switches a switch may have
+        after adding shortcut links (the backbone itself is exempt because
+        connectivity must be guaranteed).
+    routing:
+        ``"shortest"`` (congestion-aware shortest path, the default — may
+        produce cyclic CDGs) or ``"updown"`` (turn-restricted, always
+        acyclic; used for comparison).
+    balance_slack:
+        Passed to :func:`repro.synthesis.partition.partition_cores`.
+    congestion_factor:
+        Passed to :func:`repro.routing.shortest_path.compute_routes`.
+    seed:
+        Reserved for future stochastic refinement steps; the current
+        pipeline is fully deterministic but the seed is recorded in the
+        design name so sweeps stay reproducible if that changes.
+    """
+
+    n_switches: int
+    extra_link_fraction: float = 0.5
+    max_switch_degree: int = 4
+    routing: str = ROUTING_SHORTEST
+    balance_slack: int = 1
+    congestion_factor: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.n_switches < 1:
+            raise SynthesisError(f"switch count must be positive, got {self.n_switches}")
+        if self.extra_link_fraction < 0:
+            raise SynthesisError("extra_link_fraction must be non-negative")
+        if self.max_switch_degree < 2:
+            raise SynthesisError("max_switch_degree must be at least 2")
+        if self.routing not in _ROUTINGS:
+            raise SynthesisError(f"unknown routing mode {self.routing!r}")
+
+
+def _inter_switch_traffic(
+    traffic: CommunicationGraph, core_map: Dict[str, str]
+) -> Dict[Tuple[str, str], float]:
+    """Directed switch-to-switch bandwidth matrix (sparse dictionary)."""
+    matrix: Dict[Tuple[str, str], float] = {}
+    for flow in traffic.flows:
+        src_switch = core_map[flow.src]
+        dst_switch = core_map[flow.dst]
+        if src_switch == dst_switch:
+            continue
+        key = (src_switch, dst_switch)
+        matrix[key] = matrix.get(key, 0.0) + flow.bandwidth
+    return matrix
+
+
+def _symmetric_weights(
+    matrix: Dict[Tuple[str, str], float]
+) -> Dict[Tuple[str, str], float]:
+    """Undirected pair weights (sum of both directions), key is sorted pair."""
+    weights: Dict[Tuple[str, str], float] = {}
+    for (src, dst), value in matrix.items():
+        key = (min(src, dst), max(src, dst))
+        weights[key] = weights.get(key, 0.0) + value
+    return weights
+
+
+def _maximum_spanning_backbone(
+    switches: List[str], weights: Dict[Tuple[str, str], float]
+) -> List[Tuple[str, str]]:
+    """Maximum-weight spanning forest, completed into a tree.
+
+    A Kruskal-style greedy pass over pairs sorted by descending weight keeps
+    the heaviest-talking switches adjacent; switch pairs that never talk get
+    zero weight and are only used to stitch disconnected components
+    together, in deterministic name order.
+    """
+    parent = {switch: switch for switch in switches}
+
+    def find(node: str) -> str:
+        while parent[node] != node:
+            parent[node] = parent[parent[node]]
+            node = parent[node]
+        return node
+
+    def union(a: str, b: str) -> bool:
+        root_a, root_b = find(a), find(b)
+        if root_a == root_b:
+            return False
+        parent[root_b] = root_a
+        return True
+
+    edges: List[Tuple[str, str]] = []
+    candidates = sorted(weights.items(), key=lambda item: (-item[1], item[0]))
+    for (a, b), _weight in candidates:
+        if union(a, b):
+            edges.append((a, b))
+    # Stitch any remaining components together (cores that never talk to
+    # each other still need a connected network).
+    for i in range(len(switches) - 1):
+        a, b = switches[i], switches[i + 1]
+        if union(a, b):
+            edges.append((a, b))
+    return edges
+
+
+def _undirected_degree(topology: Topology, switch: str) -> int:
+    """Number of distinct neighbour switches (either link direction)."""
+    neighbors = set(topology.neighbors(switch))
+    neighbors.update(link.src for link in topology.in_links(switch))
+    return len(neighbors)
+
+
+def build_switch_network(
+    traffic: CommunicationGraph,
+    core_map: Dict[str, str],
+    config: SynthesisConfig,
+    *,
+    name: str = "synthesized",
+) -> Topology:
+    """Build the switch-level topology (steps 2 and 3 of the pipeline)."""
+    switches = sorted({core_map[core] for core in core_map})
+    topology = Topology(name)
+    topology.add_switches(switches)
+
+    matrix = _inter_switch_traffic(traffic, core_map)
+    weights = _symmetric_weights(matrix)
+    backbone = _maximum_spanning_backbone(switches, weights)
+    backbone_set = set()
+    for a, b in backbone:
+        topology.add_bidirectional_link(a, b)
+        backbone_set.add((min(a, b), max(a, b)))
+
+    budget = int(round(config.extra_link_fraction * len(switches)))
+    if budget <= 0:
+        return topology
+    candidates = sorted(
+        (pair for pair in weights if pair not in backbone_set),
+        key=lambda pair: (-weights[pair], pair),
+    )
+    added = 0
+    for a, b in candidates:
+        if added >= budget:
+            break
+        if (
+            _undirected_degree(topology, a) >= config.max_switch_degree
+            or _undirected_degree(topology, b) >= config.max_switch_degree
+        ):
+            continue
+        topology.add_bidirectional_link(a, b)
+        added += 1
+    return topology
+
+
+def synthesize_design(
+    traffic: CommunicationGraph,
+    config: SynthesisConfig,
+    *,
+    name: Optional[str] = None,
+) -> NocDesign:
+    """Run the full synthesis pipeline and return a routed, validated design."""
+    core_map = partition_cores(
+        traffic, config.n_switches, balance_slack=config.balance_slack
+    )
+    design_name = name or f"{traffic.name}_{config.n_switches}sw"
+    topology = build_switch_network(traffic, core_map, config, name=design_name)
+    design = NocDesign(
+        name=design_name,
+        topology=topology,
+        traffic=traffic.copy(),
+        core_map=dict(core_map),
+    )
+    if config.routing == ROUTING_UPDOWN:
+        compute_updown_routes(design)
+    else:
+        compute_routes(
+            design,
+            weight_mode=WEIGHT_CONGESTION,
+            congestion_factor=config.congestion_factor,
+        )
+    assign_link_lengths(design)
+    validate_design(design)
+    return design
+
+
+def synthesize_for_switch_count(
+    traffic: CommunicationGraph, n_switches: int, **overrides
+) -> NocDesign:
+    """Convenience wrapper used by the sweep benchmarks."""
+    config = SynthesisConfig(n_switches=n_switches, **overrides)
+    return synthesize_design(traffic, config)

@@ -1,0 +1,73 @@
+"""Tests for metric helpers (repro.analysis.metrics)."""
+
+import pytest
+
+from repro.analysis.metrics import (
+    arithmetic_mean,
+    format_table,
+    geometric_mean,
+    normalise,
+    percent_change,
+    percent_reduction,
+)
+
+
+class TestPercentages:
+    def test_percent_change_increase(self):
+        assert percent_change(100, 150) == pytest.approx(50.0)
+
+    def test_percent_change_decrease(self):
+        assert percent_change(100, 80) == pytest.approx(-20.0)
+
+    def test_percent_change_zero_reference(self):
+        assert percent_change(0, 0) == 0.0
+        assert percent_change(0, 5) == 100.0
+
+    def test_percent_reduction(self):
+        assert percent_reduction(100, 12) == pytest.approx(88.0)
+
+    def test_percent_reduction_zero_reference(self):
+        assert percent_reduction(0, 5) == 0.0
+
+    def test_full_reduction(self):
+        assert percent_reduction(40, 0) == pytest.approx(100.0)
+
+
+class TestMeans:
+    def test_geometric_mean(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_geometric_mean_ignores_nonpositive(self):
+        assert geometric_mean([0, 4, 4]) == pytest.approx(4.0)
+
+    def test_geometric_mean_empty(self):
+        assert geometric_mean([]) == 0.0
+
+    def test_arithmetic_mean(self):
+        assert arithmetic_mean([1, 2, 3]) == pytest.approx(2.0)
+        assert arithmetic_mean([]) == 0.0
+
+
+class TestNormalise:
+    def test_normalise_to_reference(self):
+        values = {"removal": 10.0, "ordering": 12.0}
+        normalised = normalise(values, "removal")
+        assert normalised["removal"] == pytest.approx(1.0)
+        assert normalised["ordering"] == pytest.approx(1.2)
+
+    def test_normalise_zero_reference(self):
+        assert normalise({"a": 0.0, "b": 5.0}, "a") == {"a": 0.0, "b": 0.0}
+
+
+class TestFormatTable:
+    def test_headers_and_rows_rendered(self):
+        text = format_table(["name", "value"], [["x", 1.234], ["long_name", 22]])
+        lines = text.splitlines()
+        assert "name" in lines[0]
+        assert "1.23" in text
+        assert "long_name" in text
+
+    def test_column_alignment(self):
+        text = format_table(["a", "b"], [["xx", 1]])
+        header, separator, row = text.splitlines()
+        assert len(header) == len(separator)

@@ -1,0 +1,88 @@
+"""Tests for the latency-vs-load performance evaluation (repro.analysis.performance)."""
+
+import pytest
+
+from repro.analysis.performance import (
+    LoadPoint,
+    compare_performance,
+    load_latency_sweep,
+)
+from repro.core.removal import remove_deadlocks
+
+
+class TestLoadPoint:
+    def test_saturation_flag(self):
+        fine = LoadPoint(1.0, 1.0, 0.95, 50.0, 80, 100, False)
+        saturated = LoadPoint(2.0, 1.0, 0.5, 400.0, 900, 100, False)
+        assert not fine.saturated
+        assert saturated.saturated
+
+    def test_zero_offer_never_saturated(self):
+        idle = LoadPoint(0.0, 0.0, 0.0, 0.0, 0, 0, False)
+        assert not idle.saturated
+
+
+class TestSweep:
+    def test_latency_grows_with_load(self, simple_line_design):
+        sweep = load_latency_sweep(
+            simple_line_design,
+            injection_scales=(0.5, 4.0),
+            max_cycles=1500,
+        )
+        assert len(sweep.points) == 2
+        low, high = sweep.points
+        assert high.packets_delivered > low.packets_delivered
+        assert high.average_latency >= low.average_latency
+        assert not low.deadlocked and not high.deadlocked
+
+    def test_offered_load_scales_linearly(self, simple_line_design):
+        sweep = load_latency_sweep(
+            simple_line_design, injection_scales=(0.5, 1.0), max_cycles=200
+        )
+        assert sweep.points[1].offered_flits_per_cycle == pytest.approx(
+            2 * sweep.points[0].offered_flits_per_cycle
+        )
+
+    def test_unprotected_ring_deadlocks_in_sweep(self, ring_design_fixture):
+        sweep = load_latency_sweep(
+            ring_design_fixture,
+            injection_scales=(6.0,),
+            max_cycles=4000,
+            buffer_depth=2,
+            seed=1,
+        )
+        assert sweep.points[0].deadlocked
+        assert sweep.saturation_scale == 6.0
+
+    def test_protected_ring_survives_same_sweep(self, ring_design_fixture):
+        fixed = remove_deadlocks(ring_design_fixture).design
+        sweep = load_latency_sweep(
+            fixed, injection_scales=(6.0,), max_cycles=4000, buffer_depth=2, seed=1
+        )
+        assert not sweep.points[0].deadlocked
+
+    def test_as_rows_shape(self, simple_line_design):
+        sweep = load_latency_sweep(
+            simple_line_design, injection_scales=(1.0,), max_cycles=300
+        )
+        rows = sweep.as_rows()
+        assert len(rows) == 1
+        assert len(rows[0]) == 5
+
+    def test_saturation_scale_none_when_healthy(self, simple_line_design):
+        sweep = load_latency_sweep(
+            simple_line_design, injection_scales=(0.25, 0.5), max_cycles=500
+        )
+        assert sweep.saturation_scale is None
+
+
+class TestCompare:
+    def test_compare_performance_runs_all_designs(self, ring_design_fixture):
+        fixed = remove_deadlocks(ring_design_fixture).design
+        results = compare_performance(
+            {"unprotected": ring_design_fixture, "removal": fixed},
+            injection_scales=(0.5,),
+            max_cycles=500,
+        )
+        assert set(results) == {"unprotected", "removal"}
+        assert all(len(sweep.points) == 1 for sweep in results.values())

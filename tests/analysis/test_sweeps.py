@@ -1,0 +1,82 @@
+"""Tests for the figure-level sweeps (repro.analysis.sweeps).
+
+The full-size sweeps run in the benchmark harness; here they are exercised
+on reduced grids to keep the unit-test suite fast while still checking the
+shape of every figure.
+"""
+
+import pytest
+
+from repro.analysis.sweeps import (
+    FIGURE10_BENCHMARKS,
+    FIGURE8_SWITCH_COUNTS,
+    FIGURE9_SWITCH_COUNTS,
+    area_savings_table,
+    figure10_power_series,
+    figure8_series,
+    figure9_series,
+    overhead_vs_unprotected,
+    runtime_scaling,
+)
+
+
+class TestDefaults:
+    def test_figure8_grid_spans_paper_range(self):
+        assert min(FIGURE8_SWITCH_COUNTS) == 5
+        assert max(FIGURE8_SWITCH_COUNTS) == 25
+
+    def test_figure9_grid_spans_paper_range(self):
+        assert min(FIGURE9_SWITCH_COUNTS) == 10
+        assert max(FIGURE9_SWITCH_COUNTS) == 35
+
+    def test_figure10_lists_all_six_benchmarks(self):
+        assert len(FIGURE10_BENCHMARKS) == 6
+
+
+class TestFigure8:
+    def test_reduced_figure8_shape(self):
+        data = figure8_series(switch_counts=[8, 14])
+        assert data["benchmark"] == "D26_media"
+        assert len(data["resource_ordering_vcs"]) == 2
+        for ordering, removal in zip(
+            data["resource_ordering_vcs"], data["deadlock_removal_vcs"]
+        ):
+            assert removal <= ordering
+
+
+class TestFigure9:
+    def test_reduced_figure9_shape(self):
+        data = figure9_series(switch_counts=[14, 22])
+        assert data["benchmark"] == "D36_8"
+        for ordering, removal in zip(
+            data["resource_ordering_vcs"], data["deadlock_removal_vcs"]
+        ):
+            assert removal < ordering
+        # Ordering overhead grows with the switch count (longer routes).
+        assert data["resource_ordering_vcs"][1] > data["resource_ordering_vcs"][0]
+
+
+class TestFigure10:
+    def test_reduced_figure10_shape(self):
+        data = figure10_power_series(benchmarks=["D26_media", "D36_8"], switch_count=10)
+        assert data["deadlock_removal_normalised_power"] == [1.0, 1.0]
+        assert all(v >= 1.0 for v in data["resource_ordering_normalised_power"])
+        assert data["average_power_saving_percent"] >= 0
+
+
+class TestClaims:
+    def test_area_savings_table_reduced(self):
+        data = area_savings_table(benchmarks=["D36_8"], switch_count=14)
+        assert data["ordering_extra_vcs"][0] > data["removal_extra_vcs"][0]
+        assert data["average_vc_reduction_percent"] > 50
+        assert data["average_area_saving_percent"] > 0
+
+    def test_overhead_vs_unprotected_reduced(self):
+        data = overhead_vs_unprotected(benchmarks=["D36_8"], switch_count=14)
+        assert data["average_power_overhead_percent"] < 10
+        assert data["average_area_overhead_percent"] < 10
+
+    def test_runtime_scaling_reduced(self):
+        data = runtime_scaling(benchmarks=["D26_media"], switch_count=10)
+        assert data["removal_seconds"][0] < 60
+        assert data["total_removal_seconds"] < 60

@@ -1,0 +1,44 @@
+"""Tests for the benchmark registry (repro.benchmarks.registry)."""
+
+import pytest
+
+from repro.benchmarks.registry import BENCHMARK_NAMES, get_benchmark, list_benchmarks
+from repro.errors import BenchmarkError
+
+
+class TestRegistry:
+    def test_all_paper_benchmarks_registered(self):
+        assert set(BENCHMARK_NAMES) == {
+            "D26_media",
+            "D36_4",
+            "D36_6",
+            "D36_8",
+            "D35_bott",
+            "D38_tvopd",
+        }
+
+    def test_list_benchmarks_returns_copy(self):
+        names = list_benchmarks()
+        names.append("fake")
+        assert "fake" not in BENCHMARK_NAMES
+
+    def test_get_benchmark_by_name(self):
+        traffic = get_benchmark("D26_media")
+        assert traffic.name == "D26_media"
+        assert traffic.core_count == 26
+
+    def test_get_benchmark_with_seed(self):
+        a = get_benchmark("D36_8", seed=4)
+        b = get_benchmark("D36_8", seed=4)
+        assert [f.bandwidth for f in a.flows] == [f.bandwidth for f in b.flows]
+
+    def test_unknown_benchmark_rejected_with_helpful_message(self):
+        with pytest.raises(BenchmarkError) as excinfo:
+            get_benchmark("D99_nothing")
+        assert "D26_media" in str(excinfo.value)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_every_benchmark_instantiates(self, name):
+        traffic = get_benchmark(name)
+        assert traffic.flow_count > 0
+        assert traffic.core_count >= 26

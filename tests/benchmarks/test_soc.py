@@ -1,0 +1,86 @@
+"""Tests for the SoC benchmark reconstructions (repro.benchmarks.soc)."""
+
+import pytest
+
+from repro.benchmarks.soc import d26_media, d35_bott, d36_4, d36_6, d36_8, d38_tvopd
+
+
+class TestCoreCounts:
+    """The reconstructions must match the core counts the paper states."""
+
+    def test_d26_media_has_26_cores(self):
+        assert d26_media().core_count == 26
+
+    def test_d36_variants_have_36_cores(self):
+        assert d36_4().core_count == 36
+        assert d36_6().core_count == 36
+        assert d36_8().core_count == 36
+
+    def test_d35_bott_has_35_cores(self):
+        assert d35_bott().core_count == 35
+
+    def test_d38_tvopd_has_38_cores(self):
+        assert d38_tvopd().core_count == 38
+
+
+class TestD36Fanout:
+    """Each core sends data to exactly `fanout` other cores (paper, §5)."""
+
+    @pytest.mark.parametrize(
+        "factory, fanout", [(d36_4, 4), (d36_6, 6), (d36_8, 8)]
+    )
+    def test_out_degree_matches_fanout(self, factory, fanout):
+        traffic = factory()
+        for core in traffic.cores:
+            assert traffic.out_degree(core) == fanout
+
+    @pytest.mark.parametrize(
+        "factory, fanout", [(d36_4, 4), (d36_6, 6), (d36_8, 8)]
+    )
+    def test_flow_count_is_cores_times_fanout(self, factory, fanout):
+        assert factory().flow_count == 36 * fanout
+
+    def test_denser_variant_has_more_traffic(self):
+        assert d36_8().total_bandwidth > d36_4().total_bandwidth
+
+
+class TestStructure:
+    def test_d26_has_memory_hotspots(self):
+        traffic = d26_media()
+        # The shared memories receive traffic from several sources.
+        assert traffic.in_degree("sdram0") >= 4
+
+    def test_d26_video_pipeline_connected(self):
+        traffic = d26_media()
+        assert traffic.bandwidth_between("vid_in", "vid_preproc") > 0
+        assert traffic.bandwidth_between("vid_enc", "vid_vlc") > 0
+
+    def test_d35_bott_memories_are_bottlenecks(self):
+        traffic = d35_bott()
+        memory_in = sum(traffic.in_degree(m) for m in ("mem0", "mem1", "mem2"))
+        assert memory_in >= 30
+
+    def test_d38_has_display_sink(self):
+        traffic = d38_tvopd()
+        assert traffic.in_degree("disp_out") >= 2
+        assert traffic.in_degree("blend") >= 5
+
+    def test_all_bandwidths_positive(self):
+        for factory in (d26_media, d36_4, d36_6, d36_8, d35_bott, d38_tvopd):
+            assert all(f.bandwidth > 0 for f in factory().flows)
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize(
+        "factory", [d26_media, d36_4, d36_6, d36_8, d35_bott, d38_tvopd]
+    )
+    def test_same_seed_same_traffic(self, factory):
+        first = factory(seed=3)
+        second = factory(seed=3)
+        assert [f.name for f in first.flows] == [f.name for f in second.flows]
+        assert [f.bandwidth for f in first.flows] == [f.bandwidth for f in second.flows]
+
+    def test_different_seed_changes_bandwidths(self):
+        first = d36_8(seed=0)
+        second = d36_8(seed=1)
+        assert [f.bandwidth for f in first.flows] != [f.bandwidth for f in second.flows]

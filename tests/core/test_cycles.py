@@ -1,0 +1,123 @@
+"""Tests for CDG cycle detection (repro.core.cycles)."""
+
+import pytest
+
+from repro.core.cdg import ChannelDependencyGraph, build_cdg
+from repro.core.cycles import (
+    count_cycles,
+    cycle_edges,
+    find_all_cycles,
+    find_cycle_through,
+    find_largest_cycle,
+    find_smallest_cycle,
+    has_cycle,
+    verify_cycle,
+)
+from repro.errors import CycleSearchError
+from repro.examples_data.paper_ring import paper_channel
+from repro.model.channels import Channel, Link
+
+
+def ch(src, dst, vc=0):
+    return Channel(Link(src, dst), vc)
+
+
+def cdg_from_routes(routes):
+    cdg = ChannelDependencyGraph()
+    for i, route in enumerate(routes):
+        cdg.add_route(f"f{i}", route)
+    return cdg
+
+
+@pytest.fixture
+def two_cycle_cdg():
+    """A CDG with a 2-cycle (X<->Y) and a 3-cycle (A->B->C->A)."""
+    return cdg_from_routes(
+        [
+            [ch("X", "Y"), ch("Y", "X"), ch("X", "Y")],
+            [ch("A", "B"), ch("B", "C"), ch("C", "A"), ch("A", "B")],
+        ]
+    )
+
+
+class TestSmallestCycle:
+    def test_acyclic_returns_none(self, simple_line_design):
+        assert find_smallest_cycle(build_cdg(simple_line_design)) is None
+
+    def test_paper_ring_cycle_found(self, ring_design_fixture):
+        cycle = find_smallest_cycle(build_cdg(ring_design_fixture))
+        assert cycle is not None
+        assert len(cycle) == 4
+        assert set(cycle) == {paper_channel(n) for n in ("L1", "L2", "L3", "L4")}
+
+    def test_smallest_of_several_cycles(self, two_cycle_cdg):
+        cycle = find_smallest_cycle(two_cycle_cdg)
+        assert len(cycle) == 2
+        assert set(cycle) == {ch("X", "Y"), ch("Y", "X")}
+
+    def test_returned_cycle_is_verified(self, two_cycle_cdg):
+        cycle = find_smallest_cycle(two_cycle_cdg)
+        assert verify_cycle(two_cycle_cdg, cycle)
+
+    def test_deterministic(self, ring_design_fixture):
+        cdg = build_cdg(ring_design_fixture)
+        assert find_smallest_cycle(cdg) == find_smallest_cycle(cdg)
+
+
+class TestCycleThrough:
+    def test_cycle_through_specific_channel(self, two_cycle_cdg):
+        cycle = find_cycle_through(two_cycle_cdg, ch("A", "B"))
+        assert len(cycle) == 3
+        assert ch("A", "B") in cycle
+
+    def test_channel_not_on_cycle_returns_none(self):
+        cdg = cdg_from_routes([[ch("A", "B"), ch("B", "C")]])
+        assert find_cycle_through(cdg, ch("A", "B")) is None
+
+    def test_unknown_channel_raises(self, two_cycle_cdg):
+        with pytest.raises(CycleSearchError):
+            find_cycle_through(two_cycle_cdg, ch("Z", "W"))
+
+
+class TestEnumeration:
+    def test_find_all_cycles_counts_both(self, two_cycle_cdg):
+        cycles = find_all_cycles(two_cycle_cdg)
+        assert len(cycles) == 2
+        assert sorted(len(c) for c in cycles) == [2, 3]
+
+    def test_limit_caps_enumeration(self, two_cycle_cdg):
+        assert len(find_all_cycles(two_cycle_cdg, limit=1)) == 1
+
+    def test_count_cycles(self, two_cycle_cdg, ring_design_fixture):
+        assert count_cycles(two_cycle_cdg) == 2
+        assert count_cycles(build_cdg(ring_design_fixture)) == 1
+
+    def test_largest_cycle(self, two_cycle_cdg):
+        assert len(find_largest_cycle(two_cycle_cdg)) == 3
+
+    def test_largest_cycle_none_when_acyclic(self, simple_line_design):
+        assert find_largest_cycle(build_cdg(simple_line_design)) is None
+
+    def test_has_cycle(self, ring_design_fixture, simple_line_design):
+        assert has_cycle(build_cdg(ring_design_fixture))
+        assert not has_cycle(build_cdg(simple_line_design))
+
+
+class TestCycleEdges:
+    def test_edges_include_closing_edge(self):
+        cycle = [ch("A", "B"), ch("B", "C"), ch("C", "A")]
+        edges = cycle_edges(cycle)
+        assert len(edges) == 3
+        assert edges[-1] == (ch("C", "A"), ch("A", "B"))
+
+    def test_empty_cycle_rejected(self):
+        with pytest.raises(CycleSearchError):
+            cycle_edges([])
+
+    def test_verify_cycle_rejects_fake_cycle(self, ring_design_fixture):
+        cdg = build_cdg(ring_design_fixture)
+        fake = [paper_channel("L1"), paper_channel("L3")]
+        assert not verify_cycle(cdg, fake)
+
+    def test_verify_cycle_rejects_empty(self, ring_design_fixture):
+        assert not verify_cycle(build_cdg(ring_design_fixture), [])

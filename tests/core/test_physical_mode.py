@@ -1,0 +1,123 @@
+"""Tests for the physical-channel resource mode of the removal algorithm.
+
+Section 1 of the paper: "please note that is also possible to add physical
+channels if the NoC architecture does not support VCs".
+"""
+
+import pytest
+
+from repro.core.breaker import RESOURCE_PHYSICAL, break_cycle
+from repro.core.cdg import build_cdg
+from repro.core.removal import remove_deadlocks
+from repro.errors import RemovalError
+from repro.examples_data.paper_ring import paper_ring_cycle
+from repro.model.validation import validate_design
+from repro.power.estimator import estimate_area, estimate_power
+
+
+class TestPhysicalBreak:
+    def test_break_adds_parallel_link_not_vc(self, ring_design_fixture):
+        before_links = ring_design_fixture.topology.link_count
+        action = break_cycle(
+            ring_design_fixture, paper_ring_cycle(), 0, "forward",
+            resource_mode=RESOURCE_PHYSICAL,
+        )
+        topology = ring_design_fixture.topology
+        assert topology.link_count == before_links + 1
+        assert topology.extra_vc_count == 0
+        assert topology.extra_parallel_link_count == 1
+        new_channel = next(iter(action.channels_added.values()))
+        assert new_channel.link.index == 1
+        assert new_channel.vc == 0
+
+    def test_break_removes_cycle_and_keeps_design_valid(self, ring_design_fixture):
+        break_cycle(
+            ring_design_fixture, paper_ring_cycle(), 0, "forward",
+            resource_mode=RESOURCE_PHYSICAL,
+        )
+        assert build_cdg(ring_design_fixture).is_acyclic()
+        validate_design(ring_design_fixture)
+
+    def test_unknown_resource_mode_rejected(self, ring_design_fixture):
+        with pytest.raises(RemovalError):
+            break_cycle(
+                ring_design_fixture, paper_ring_cycle(), 0, "forward",
+                resource_mode="quantum",
+            )
+
+
+class TestPhysicalRemoval:
+    def test_ring_removal_with_physical_links(self, ring_design_fixture):
+        result = remove_deadlocks(ring_design_fixture, resource_mode="physical")
+        assert build_cdg(result.design).is_acyclic()
+        assert result.added_vc_count == 1  # one channel added, as in VC mode
+        assert result.design.topology.extra_parallel_link_count == 1
+        assert result.design.topology.extra_vc_count == 0
+        validate_design(result.design)
+
+    def test_unknown_mode_rejected(self, ring_design_fixture):
+        with pytest.raises(RemovalError):
+            remove_deadlocks(ring_design_fixture, resource_mode="quantum")
+
+    def test_benchmark_design_with_physical_links(self, d36_8_design_14sw):
+        design = d36_8_design_14sw.copy()
+        virtual = remove_deadlocks(design)
+        physical = remove_deadlocks(design, resource_mode="physical")
+        assert build_cdg(physical.design).is_acyclic()
+        # The same dependencies get broken, so the channel count matches.
+        assert physical.added_vc_count == virtual.added_vc_count
+        assert physical.design.topology.extra_parallel_link_count == (
+            physical.added_vc_count
+        )
+        validate_design(physical.design)
+
+    def test_physical_mode_costs_more_area_than_virtual(self, d36_8_design_14sw):
+        """The reason the paper prefers VCs: a parallel physical link adds
+        switch ports (crossbar, allocator) on top of the buffer."""
+        design = d36_8_design_14sw.copy()
+        virtual = remove_deadlocks(design)
+        physical = remove_deadlocks(design, resource_mode="physical")
+        assert (
+            estimate_area(physical.design).total_area_mm2
+            >= estimate_area(virtual.design).total_area_mm2
+        )
+        assert (
+            estimate_power(physical.design).total_power_mw
+            >= estimate_power(virtual.design).total_power_mw
+        )
+
+    def test_physical_design_simulates_deadlock_free(self, ring_design_fixture):
+        from repro.simulation.simulator import SimulationConfig, simulate_design
+
+        result = remove_deadlocks(ring_design_fixture, resource_mode="physical")
+        stats = simulate_design(
+            result.design,
+            max_cycles=4000,
+            config=SimulationConfig(injection_scale=6.0, buffer_depth=2, seed=1),
+        )
+        assert not stats.deadlock_detected
+
+
+class TestParallelLinkTopology:
+    def test_add_parallel_link_indices(self, ring_design_fixture):
+        topology = ring_design_fixture.topology
+        link = topology.links[0]
+        first = topology.add_parallel_link(link)
+        second = topology.add_parallel_link(link)
+        assert first.index == 1
+        assert second.index == 2
+        assert topology.extra_parallel_link_count == 2
+
+    def test_parallel_link_copies_length(self, ring_design_fixture):
+        topology = ring_design_fixture.topology
+        link = topology.links[0]
+        topology.set_link_length(link, 3.0)
+        parallel = topology.add_parallel_link(link)
+        assert topology.link_length(parallel) == 3.0
+
+    def test_parallel_of_unknown_link_rejected(self, ring_design_fixture):
+        from repro.errors import TopologyError
+        from repro.model.channels import Link
+
+        with pytest.raises(TopologyError):
+            ring_design_fixture.topology.add_parallel_link(Link("X", "Y"))

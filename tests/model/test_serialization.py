@@ -1,0 +1,78 @@
+"""Tests for design JSON serialization (repro.model.serialization)."""
+
+import json
+
+import pytest
+
+from repro.errors import SerializationError
+from repro.model.serialization import (
+    design_from_dict,
+    design_to_dict,
+    load_design,
+    save_design,
+)
+
+
+class TestRoundTrip:
+    def test_paper_ring_round_trip(self, ring_design_fixture):
+        data = design_to_dict(ring_design_fixture)
+        rebuilt = design_from_dict(data)
+        assert rebuilt.name == ring_design_fixture.name
+        assert rebuilt.topology == ring_design_fixture.topology
+        assert rebuilt.routes == ring_design_fixture.routes
+        assert rebuilt.core_map == ring_design_fixture.core_map
+
+    def test_round_trip_preserves_extra_vcs(self, ring_design_fixture):
+        from repro.core.removal import remove_deadlocks
+
+        result = remove_deadlocks(ring_design_fixture)
+        rebuilt = design_from_dict(design_to_dict(result.design))
+        assert rebuilt.extra_vc_count == result.added_vc_count
+        assert rebuilt.routes == result.design.routes
+
+    def test_round_trip_preserves_flow_attributes(self, simple_line_design):
+        rebuilt = design_from_dict(design_to_dict(simple_line_design))
+        flow = rebuilt.traffic.flow("f0")
+        assert flow.bandwidth == 100.0
+        assert flow.packet_size_flits == 8
+
+    def test_round_trip_preserves_link_lengths(self, simple_line_design):
+        from repro.model.channels import Link
+
+        simple_line_design.topology.set_link_length(Link("A", "B"), 3.25)
+        rebuilt = design_from_dict(design_to_dict(simple_line_design))
+        assert rebuilt.topology.link_length(Link("A", "B")) == 3.25
+
+    def test_file_round_trip(self, tmp_path, ring_design_fixture):
+        path = save_design(ring_design_fixture, tmp_path / "ring.json")
+        assert path.exists()
+        rebuilt = load_design(path)
+        assert rebuilt.topology == ring_design_fixture.topology
+
+    def test_saved_file_is_valid_json(self, tmp_path, simple_line_design):
+        path = save_design(simple_line_design, tmp_path / "line.json")
+        data = json.loads(path.read_text())
+        assert data["name"] == "line3"
+        assert data["format_version"] == 1
+
+
+class TestErrors:
+    def test_unsupported_version_rejected(self, ring_design_fixture):
+        data = design_to_dict(ring_design_fixture)
+        data["format_version"] = 99
+        with pytest.raises(SerializationError):
+            design_from_dict(data)
+
+    def test_malformed_document_rejected(self):
+        with pytest.raises(SerializationError):
+            design_from_dict({"topology": {}})
+
+    def test_missing_file_rejected(self, tmp_path):
+        with pytest.raises(SerializationError):
+            load_design(tmp_path / "does_not_exist.json")
+
+    def test_invalid_json_rejected(self, tmp_path):
+        path = tmp_path / "broken.json"
+        path.write_text("{not json")
+        with pytest.raises(SerializationError):
+            load_design(path)

@@ -1,0 +1,58 @@
+"""Tests for the link power/area model (repro.power.link)."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.link import LinkPowerModel
+from repro.power.orion import TechnologyParameters
+
+
+@pytest.fixture
+def model() -> LinkPowerModel:
+    return LinkPowerModel()
+
+
+class TestLinkPower:
+    def test_power_grows_with_length(self, model):
+        assert model.total_power_mw(4.0, 0.3) > model.total_power_mw(1.0, 0.3)
+
+    def test_dynamic_power_grows_with_load(self, model):
+        assert model.dynamic_power_mw(2.0, 0.8) > model.dynamic_power_mw(2.0, 0.2)
+
+    def test_leakage_independent_of_load(self, model):
+        assert model.leakage_power_mw(2.0) > 0
+
+    def test_total_is_sum(self, model):
+        assert model.total_power_mw(2.0, 0.5) == pytest.approx(
+            model.dynamic_power_mw(2.0, 0.5) + model.leakage_power_mw(2.0)
+        )
+
+    def test_load_clamped(self, model):
+        assert model.dynamic_power_mw(2.0, 5.0) == model.dynamic_power_mw(2.0, 1.0)
+
+    def test_reasonable_magnitude(self, model):
+        # A 2 mm 32-bit link at 30% load should be a few mW at 65 nm.
+        assert 0.1 < model.total_power_mw(2.0, 0.3) < 20.0
+
+    def test_nonpositive_length_rejected(self, model):
+        with pytest.raises(PowerModelError):
+            model.total_power_mw(0.0, 0.5)
+        with pytest.raises(PowerModelError):
+            model.leakage_power_mw(-1.0)
+
+
+class TestLinkArea:
+    def test_area_grows_with_length(self, model):
+        assert model.area_mm2(4.0) > model.area_mm2(1.0)
+
+    def test_area_units_consistent(self, model):
+        assert model.area_mm2(2.0) == pytest.approx(model.area_um2(2.0) / 1e6)
+
+    def test_wider_link_larger_area(self):
+        narrow = LinkPowerModel(TechnologyParameters(flit_width_bits=16))
+        wide = LinkPowerModel(TechnologyParameters(flit_width_bits=64))
+        assert wide.area_mm2(2.0) > narrow.area_mm2(2.0)
+
+    def test_nonpositive_length_rejected(self, model):
+        with pytest.raises(PowerModelError):
+            model.area_um2(0.0)

@@ -1,0 +1,99 @@
+"""Tests for the router power/area model (repro.power.orion)."""
+
+import pytest
+
+from repro.errors import PowerModelError
+from repro.power.orion import RouterPowerModel, TechnologyParameters
+
+
+@pytest.fixture
+def model() -> RouterPowerModel:
+    return RouterPowerModel()
+
+
+class TestTechnologyParameters:
+    def test_defaults_are_65nm(self):
+        tech = TechnologyParameters()
+        assert tech.tech_nm == 65.0
+        assert tech.scale == 1.0
+
+    def test_scale_for_other_nodes(self):
+        assert TechnologyParameters(tech_nm=32.5).scale == pytest.approx(0.5)
+
+    def test_link_capacity(self):
+        tech = TechnologyParameters(flit_width_bits=32, frequency_hz=500e6)
+        # 4 bytes * 500 MHz = 2000 MB/s
+        assert tech.link_capacity_mbps == pytest.approx(2000.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(PowerModelError):
+            TechnologyParameters(tech_nm=0)
+        with pytest.raises(PowerModelError):
+            TechnologyParameters(flit_width_bits=0)
+
+
+class TestReferenceMagnitudes:
+    """Sanity band around published ORION 2.0 numbers for a 5-port router."""
+
+    def test_power_in_tens_of_milliwatts(self, model):
+        power = model.total_power_mw(5, 5, 10, load=0.3)
+        assert 5.0 < power < 120.0
+
+    def test_area_in_tenths_of_mm2(self, model):
+        area = model.area_mm2(5, 5, 10)
+        assert 0.02 < area < 0.4
+
+
+class TestScalingBehaviour:
+    def test_power_grows_with_vcs(self, model):
+        base = model.total_power_mw(5, 5, 5, load=0.3)
+        more_vcs = model.total_power_mw(5, 5, 15, load=0.3)
+        assert more_vcs > base
+
+    def test_area_grows_with_vcs(self, model):
+        assert model.area_mm2(5, 5, 15) > model.area_mm2(5, 5, 5)
+
+    def test_area_grows_with_ports(self, model):
+        assert model.area_mm2(7, 7, 7) > model.area_mm2(4, 4, 4)
+
+    def test_dynamic_power_grows_with_load(self, model):
+        low = model.dynamic_power_mw(5, 5, 10, load=0.1)
+        high = model.dynamic_power_mw(5, 5, 10, load=0.9)
+        assert high > low
+
+    def test_leakage_is_load_independent(self, model):
+        assert model.leakage_power_mw(5, 5, 10) == model.leakage_power_mw(5, 5, 10)
+
+    def test_total_is_dynamic_plus_leakage(self, model):
+        total = model.total_power_mw(5, 5, 10, load=0.5)
+        expected = model.dynamic_power_mw(5, 5, 10, 0.5) + model.leakage_power_mw(5, 5, 10)
+        assert total == pytest.approx(expected)
+
+    def test_load_is_clamped(self, model):
+        assert model.dynamic_power_mw(5, 5, 10, load=2.0) == (
+            model.dynamic_power_mw(5, 5, 10, load=1.0)
+        )
+        assert model.dynamic_power_mw(5, 5, 10, load=-1.0) == (
+            model.dynamic_power_mw(5, 5, 10, load=0.0)
+        )
+
+    def test_smaller_node_lowers_power_and_area(self):
+        old = RouterPowerModel(TechnologyParameters(tech_nm=65))
+        new = RouterPowerModel(TechnologyParameters(tech_nm=45))
+        assert new.total_power_mw(5, 5, 10, 0.3) < old.total_power_mw(5, 5, 10, 0.3)
+        assert new.area_mm2(5, 5, 10) < old.area_mm2(5, 5, 10)
+
+    def test_area_linear_in_buffer_depth(self):
+        shallow = RouterPowerModel(TechnologyParameters(buffer_depth_flits=2))
+        deep = RouterPowerModel(TechnologyParameters(buffer_depth_flits=8))
+        assert deep.area_mm2(5, 5, 10) > shallow.area_mm2(5, 5, 10)
+
+
+class TestValidation:
+    def test_zero_ports_rejected(self, model):
+        with pytest.raises(PowerModelError):
+            model.total_power_mw(0, 5, 5, 0.3)
+
+    def test_vcs_fewer_than_ports_rejected(self, model):
+        with pytest.raises(PowerModelError):
+            model.area_mm2(5, 5, 3)

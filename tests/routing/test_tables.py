@@ -1,0 +1,77 @@
+"""Tests for per-switch routing tables (repro.routing.tables)."""
+
+import pytest
+
+from repro.errors import RouteError
+from repro.model.channels import Channel, Link
+from repro.routing.tables import RoutingTable, build_routing_tables, table_sizes
+
+
+class TestRoutingTable:
+    def test_add_and_lookup(self):
+        table = RoutingTable("A")
+        out = Channel(Link("A", "B"))
+        table.add_entry("f0", None, out)
+        assert table.lookup("f0", None) == out
+        assert table.entry_count == 1
+
+    def test_conflicting_entry_rejected(self):
+        table = RoutingTable("A")
+        table.add_entry("f0", None, Channel(Link("A", "B")))
+        with pytest.raises(RouteError):
+            table.add_entry("f0", None, Channel(Link("A", "C")))
+
+    def test_duplicate_identical_entry_allowed(self):
+        table = RoutingTable("A")
+        out = Channel(Link("A", "B"))
+        table.add_entry("f0", None, out)
+        table.add_entry("f0", None, out)
+        assert table.entry_count == 1
+
+    def test_missing_entry_raises(self):
+        with pytest.raises(RouteError):
+            RoutingTable("A").lookup("f0", None)
+
+    def test_output_channels_sorted_unique(self):
+        table = RoutingTable("A")
+        out = Channel(Link("A", "B"))
+        table.add_entry("f0", None, out)
+        table.add_entry("f1", None, out)
+        assert table.output_channels() == [out]
+
+
+class TestBuildTables:
+    def test_every_switch_gets_a_table(self, ring_design_fixture):
+        tables = build_routing_tables(ring_design_fixture)
+        assert set(tables) == set(ring_design_fixture.topology.switches)
+
+    def test_injection_entries_use_none_incoming(self, ring_design_fixture):
+        tables = build_routing_tables(ring_design_fixture)
+        # F1 starts at SW1, so SW1 has an entry with no incoming channel.
+        entries = tables["SW1"].entries
+        assert ("F1", None) in entries
+
+    def test_transit_entries_record_incoming_channel(self, ring_design_fixture):
+        tables = build_routing_tables(ring_design_fixture)
+        l1 = Channel(Link("SW1", "SW2"))
+        l2 = Channel(Link("SW2", "SW3"))
+        assert tables["SW2"].lookup("F1", l1) == l2
+
+    def test_lookup_follows_full_route(self, ring_design_fixture):
+        tables = build_routing_tables(ring_design_fixture)
+        route = ring_design_fixture.routes.route("F1")
+        incoming = None
+        for channel in route:
+            found = tables[channel.src].lookup("F1", incoming)
+            assert found == channel
+            incoming = channel
+
+    def test_table_sizes(self, ring_design_fixture):
+        sizes = table_sizes(ring_design_fixture)
+        assert sum(sizes.values()) == ring_design_fixture.routes.total_hop_count()
+
+    def test_tables_for_synthesized_design(self, d26_design_14sw):
+        tables = build_routing_tables(d26_design_14sw)
+        assert sum(t.entry_count for t in tables.values()) == (
+            d26_design_14sw.routes.total_hop_count()
+        )

@@ -1,0 +1,81 @@
+"""Tests for VC buffers (repro.simulation.buffers)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.channels import Channel, Link
+from repro.simulation.buffers import VirtualChannelBuffer
+from repro.simulation.flit import Packet, make_flits
+
+
+def packet_with_id(packet_id, size=3):
+    route = (Channel(Link("A", "B")),)
+    return Packet(packet_id, "f0", route, size, created_cycle=0)
+
+
+class TestCapacity:
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualChannelBuffer(0)
+
+    def test_free_slots_track_occupancy(self):
+        buffer = VirtualChannelBuffer(2)
+        flits = make_flits(packet_with_id(1, size=2))
+        assert buffer.free_slots == 2
+        buffer.push(flits[0])
+        assert buffer.free_slots == 1
+        assert buffer.occupancy == 1
+
+    def test_overflow_rejected(self):
+        buffer = VirtualChannelBuffer(1)
+        flits = make_flits(packet_with_id(1, size=2))
+        buffer.push(flits[0])
+        assert not buffer.can_accept(flits[1])
+        with pytest.raises(SimulationError):
+            buffer.push(flits[1])
+
+
+class TestFifoOrder:
+    def test_pop_returns_in_push_order(self):
+        buffer = VirtualChannelBuffer(3)
+        flits = make_flits(packet_with_id(1, size=3))
+        for flit in flits:
+            buffer.push(flit)
+        assert buffer.pop() is flits[0]
+        assert buffer.pop() is flits[1]
+        assert buffer.peek() is flits[2]
+
+    def test_pop_empty_rejected(self):
+        with pytest.raises(SimulationError):
+            VirtualChannelBuffer(2).pop()
+
+    def test_peek_empty_returns_none(self):
+        assert VirtualChannelBuffer(2).peek() is None
+
+
+class TestPacketInterleaving:
+    def test_second_packet_rejected_until_tail_leaves(self):
+        buffer = VirtualChannelBuffer(4)
+        first = make_flits(packet_with_id(1, size=2))
+        second = make_flits(packet_with_id(2, size=2))
+        buffer.push(first[0])
+        assert not buffer.can_accept(second[0])
+        buffer.push(first[1])
+        buffer.pop()
+        # Tail of packet 1 still inside: packet 2 must wait.
+        assert not buffer.can_accept(second[0])
+        buffer.pop()
+        assert buffer.can_accept(second[0])
+
+    def test_reservation_held_when_drained_mid_packet(self):
+        buffer = VirtualChannelBuffer(4)
+        first = make_flits(packet_with_id(1, size=3))
+        second = make_flits(packet_with_id(2, size=1))
+        buffer.push(first[0])
+        buffer.pop()  # head left, body/tail not yet arrived
+        assert not buffer.can_accept(second[0])
+        buffer.push(first[1])
+        buffer.push(first[2])
+        buffer.pop()
+        buffer.pop()
+        assert buffer.can_accept(second[0])

@@ -1,0 +1,85 @@
+"""Tests for runtime deadlock detection (repro.simulation.deadlock)."""
+
+from repro.core.removal import remove_deadlocks
+from repro.simulation.deadlock import DeadlockMonitor, find_wait_cycle
+from repro.simulation.network import WormholeNetwork
+from repro.simulation.flit import Packet
+from repro.simulation.simulator import SimulationConfig, simulate_design
+from repro.simulation.stats import SimulationStats
+
+
+def saturate_ring(design, size=8, buffer_depth=1):
+    """Inject one long packet per flow into a fresh network of ``design``."""
+    network = WormholeNetwork(design, buffer_depth=buffer_depth)
+    stats = SimulationStats(design.name)
+    for i, flow in enumerate(design.traffic.flows):
+        route = design.routes.route(flow.name)
+        network.inject(Packet(i, flow.name, route.channels, size, created_cycle=0))
+    return network, stats
+
+
+class TestWaitCycle:
+    def test_saturated_paper_ring_reaches_cyclic_wait(self, ring_design_fixture):
+        network, stats = saturate_ring(ring_design_fixture)
+        for cycle in range(200):
+            network.step(cycle, stats)
+        cycle_channels = find_wait_cycle(network)
+        assert cycle_channels is not None
+        assert len(cycle_channels) >= 2
+
+    def test_empty_network_has_no_wait_cycle(self, ring_design_fixture):
+        network = WormholeNetwork(ring_design_fixture)
+        assert find_wait_cycle(network) is None
+
+    def test_line_network_never_waits_cyclically(self, simple_line_design):
+        network, stats = saturate_ring(simple_line_design, size=6)
+        for cycle in range(50):
+            network.step(cycle, stats)
+        assert find_wait_cycle(network) is None
+
+
+class TestMonitor:
+    def test_monitor_fires_only_after_watchdog_window(self, ring_design_fixture):
+        network, stats = saturate_ring(ring_design_fixture)
+        monitor = DeadlockMonitor(watchdog_cycles=10)
+        verdict = None
+        fired_at = None
+        for cycle in range(300):
+            transfers = network.step(cycle, stats)
+            verdict = monitor.record_cycle(network, transfers)
+            if verdict is not None:
+                fired_at = cycle
+                break
+        assert verdict is not None
+        assert fired_at >= 10
+
+    def test_monitor_resets_on_progress(self, simple_line_design):
+        network, stats = saturate_ring(simple_line_design, size=4)
+        monitor = DeadlockMonitor(watchdog_cycles=5)
+        for cycle in range(60):
+            transfers = network.step(cycle, stats)
+            assert monitor.record_cycle(network, transfers) is None
+
+    def test_idle_empty_network_never_flags(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        stats = SimulationStats("idle")
+        monitor = DeadlockMonitor(watchdog_cycles=3)
+        for cycle in range(20):
+            transfers = network.step(cycle, stats)
+            assert monitor.record_cycle(network, transfers) is None
+        assert monitor.idle_cycles == 0
+
+
+class TestEndToEnd:
+    def test_cyclic_design_deadlocks_under_pressure(self, ring_design_fixture):
+        config = SimulationConfig(injection_scale=6.0, buffer_depth=2, seed=1)
+        stats = simulate_design(ring_design_fixture, max_cycles=5000, config=config)
+        assert stats.deadlock_detected
+        assert stats.deadlocked_channels
+
+    def test_removed_design_does_not_deadlock(self, ring_design_fixture):
+        config = SimulationConfig(injection_scale=6.0, buffer_depth=2, seed=1)
+        fixed = remove_deadlocks(ring_design_fixture).design
+        stats = simulate_design(fixed, max_cycles=5000, config=config)
+        assert not stats.deadlock_detected
+        assert stats.packets_delivered > 0

@@ -1,0 +1,48 @@
+"""Tests for packets and flits (repro.simulation.flit)."""
+
+from repro.model.channels import Channel, Link
+from repro.simulation.flit import Flit, Packet, make_flits
+
+
+def make_packet(size=4):
+    route = (Channel(Link("A", "B")), Channel(Link("B", "C")))
+    return Packet(packet_id=1, flow_name="f0", route=route, size_flits=size, created_cycle=10)
+
+
+class TestPacket:
+    def test_latency_none_while_in_flight(self):
+        assert make_packet().latency is None
+
+    def test_latency_after_delivery(self):
+        packet = make_packet()
+        packet.delivered_cycle = 25
+        assert packet.latency == 15
+
+    def test_route_is_preserved(self):
+        packet = make_packet()
+        assert len(packet.route) == 2
+
+
+class TestFlit:
+    def test_head_and_tail_flags(self):
+        packet = make_packet(size=3)
+        flits = make_flits(packet)
+        assert flits[0].is_head and not flits[0].is_tail
+        assert not flits[1].is_head and not flits[1].is_tail
+        assert flits[2].is_tail and not flits[2].is_head
+
+    def test_single_flit_packet_is_head_and_tail(self):
+        flits = make_flits(make_packet(size=1))
+        assert flits[0].is_head and flits[0].is_tail
+
+    def test_next_channel_progression(self):
+        packet = make_packet()
+        flit = make_flits(packet)[0]
+        assert flit.next_channel == packet.route[0]
+        flit.hops_done = 1
+        assert flit.next_channel == packet.route[1]
+        flit.hops_done = 2
+        assert flit.next_channel is None
+
+    def test_make_flits_count(self):
+        assert len(make_flits(make_packet(size=7))) == 7

@@ -1,0 +1,116 @@
+"""Tests for the wormhole network scheduler (repro.simulation.network)."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.model.channels import Channel, Link
+from repro.simulation.flit import Packet
+from repro.simulation.network import WormholeNetwork
+from repro.simulation.stats import SimulationStats
+
+
+def make_packet(design, flow_name, packet_id=0, size=4, cycle=0):
+    route = design.routes.route(flow_name)
+    return Packet(packet_id, flow_name, route.channels, size, created_cycle=cycle)
+
+
+def drive(network, stats, cycles):
+    for cycle in range(cycles):
+        network.step(cycle, stats)
+
+
+class TestConstruction:
+    def test_router_per_switch(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        assert set(network.routers) == set(simple_line_design.topology.switches)
+
+    def test_buffers_for_every_channel(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        for channel in simple_line_design.topology.channels():
+            assert network.buffer_of(channel) is not None
+
+    def test_injection_queues_at_source_switch(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        assert "f0" in network.routers["A"].injection_queues
+        assert "f1" in network.routers["C"].injection_queues
+
+
+class TestSinglePacketDelivery:
+    def test_packet_traverses_line(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        stats = SimulationStats("line")
+        packet = make_packet(simple_line_design, "f0", size=3)
+        network.inject(packet)
+        drive(network, stats, 20)
+        assert stats.packets_delivered == 1
+        assert stats.flits_delivered == 3
+        assert packet.delivered_cycle is not None
+        assert network.flits_in_network() == 0
+
+    def test_latency_at_least_hops_plus_serialisation(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        stats = SimulationStats("line")
+        packet = make_packet(simple_line_design, "f0", size=4, cycle=0)
+        network.inject(packet)
+        drive(network, stats, 30)
+        # The tail cannot be delivered before the last body flit has crossed
+        # both links behind the head (wormhole serialisation).
+        assert packet.latency >= 4
+        assert packet.latency >= len(packet.route)
+
+    def test_one_flit_per_link_per_cycle(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        stats = SimulationStats("line")
+        network.inject(make_packet(simple_line_design, "f0", packet_id=0, size=4))
+        network.inject(make_packet(simple_line_design, "f0", packet_id=1, size=4))
+        drive(network, stats, 1)
+        moved = sum(stats.channel_busy_cycles.values())
+        assert moved <= simple_line_design.topology.link_count
+
+    def test_unknown_flow_injection_rejected(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        bogus = Packet(0, "f0", simple_line_design.routes.route("f1").channels, 2, 0)
+        bogus_flow = Packet(0, "zzz", (), 1, 0)
+        with pytest.raises(Exception):
+            network.inject(bogus_flow)
+
+
+class TestWormholeSemantics:
+    def test_packets_of_same_flow_keep_order(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        stats = SimulationStats("line")
+        first = make_packet(simple_line_design, "f0", packet_id=0, size=3)
+        second = make_packet(simple_line_design, "f0", packet_id=1, size=3)
+        network.inject(first)
+        network.inject(second)
+        drive(network, stats, 40)
+        assert stats.packets_delivered == 2
+        assert first.delivered_cycle < second.delivered_cycle
+
+    def test_two_flows_share_the_network(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        stats = SimulationStats("line")
+        network.inject(make_packet(simple_line_design, "f0", packet_id=0, size=3))
+        network.inject(make_packet(simple_line_design, "f1", packet_id=1, size=3))
+        drive(network, stats, 40)
+        assert stats.packets_delivered == 2
+
+    def test_wait_for_edges_reflect_blocked_heads(self, ring_design_fixture):
+        network = WormholeNetwork(ring_design_fixture, buffer_depth=1)
+        stats = SimulationStats("ring")
+        # Saturate the ring with long packets from every flow.
+        for i, flow in enumerate(["F1", "F2", "F3", "F4"]):
+            network.inject(make_packet(ring_design_fixture, flow, packet_id=i, size=8))
+        drive(network, stats, 30)
+        edges = network.wait_for_edges()
+        assert all(isinstance(edge[0], Channel) for edge in edges)
+
+    def test_flits_accounting(self, simple_line_design):
+        network = WormholeNetwork(simple_line_design)
+        stats = SimulationStats("line")
+        network.inject(make_packet(simple_line_design, "f0", size=5))
+        assert network.flits_pending_injection() == 5
+        drive(network, stats, 2)
+        assert network.flits_pending_injection() + network.flits_in_network() + (
+            stats.flits_delivered
+        ) == 5

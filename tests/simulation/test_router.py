@@ -1,0 +1,72 @@
+"""Tests for per-switch router state (repro.simulation.router)."""
+
+from repro.model.channels import Channel, Link
+from repro.simulation.flit import Packet, make_flits
+from repro.simulation.router import Router, buffer_source, injection_source
+
+
+def sample_channel():
+    return Channel(Link("A", "B"))
+
+
+def sample_packet():
+    return Packet(1, "f0", (sample_channel(),), 2, created_cycle=0)
+
+
+class TestRouterSetup:
+    def test_input_channel_creates_buffer(self):
+        router = Router("B", buffer_depth=4)
+        router.add_input_channel(sample_channel())
+        assert sample_channel() in router.input_buffers
+        assert router.buffered_flits() == 0
+
+    def test_output_channel_creates_ownership_slot(self):
+        router = Router("A", buffer_depth=4)
+        router.add_output_channel(sample_channel())
+        assert router.output_owner[sample_channel()] is None
+        assert sample_channel().link in router.link_pointer
+
+    def test_injection_flow_creates_queue(self):
+        router = Router("A", buffer_depth=4)
+        router.add_injection_flow("f0")
+        assert router.pending_injection_flits() == 0
+
+
+class TestSources:
+    def test_all_sources_deterministic_order(self):
+        router = Router("B", buffer_depth=4)
+        router.add_input_channel(Channel(Link("A", "B")))
+        router.add_input_channel(Channel(Link("C", "B")))
+        router.add_injection_flow("f1")
+        router.add_injection_flow("f0")
+        sources = router.all_sources()
+        assert sources[0][0] == "buffer"
+        assert sources[-2:] == [injection_source("f0"), injection_source("f1")]
+
+    def test_source_head_and_pop(self):
+        router = Router("A", buffer_depth=4)
+        router.add_injection_flow("f0")
+        flits = make_flits(sample_packet())
+        router.injection_queues["f0"].extend(flits)
+        source = injection_source("f0")
+        assert router.source_head(source) is flits[0]
+        assert router.pop_source(source) is flits[0]
+        assert router.source_head(source) is flits[1]
+
+    def test_buffer_source_head(self):
+        router = Router("B", buffer_depth=4)
+        channel = sample_channel()
+        router.add_input_channel(channel)
+        flit = make_flits(sample_packet())[0]
+        router.input_buffers[channel].push(flit)
+        assert router.source_head(buffer_source(channel)) is flit
+        assert router.occupied_buffers() == [channel]
+        assert router.buffered_flits() == 1
+
+    def test_empty_source_head_is_none(self):
+        router = Router("B", buffer_depth=4)
+        channel = sample_channel()
+        router.add_input_channel(channel)
+        router.add_injection_flow("f0")
+        assert router.source_head(buffer_source(channel)) is None
+        assert router.source_head(injection_source("f0")) is None

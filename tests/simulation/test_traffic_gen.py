@@ -1,0 +1,73 @@
+"""Tests for traffic generation (repro.simulation.traffic_gen)."""
+
+import pytest
+
+from repro.power.orion import TechnologyParameters
+from repro.simulation.traffic_gen import FlowTrafficGenerator
+
+
+class TestRates:
+    def test_rates_proportional_to_bandwidth(self, simple_line_design):
+        generator = FlowTrafficGenerator(simple_line_design)
+        rates = generator.flow_rates
+        assert rates["f0"] == pytest.approx(2 * rates["f1"])
+
+    def test_rates_scale_with_injection_scale(self, simple_line_design):
+        base = FlowTrafficGenerator(simple_line_design).flow_rates
+        double = FlowTrafficGenerator(simple_line_design, injection_scale=2.0).flow_rates
+        for name in base:
+            assert double[name] == pytest.approx(min(2 * base[name], 1.0))
+
+    def test_rates_capped_at_one_packet_per_cycle(self, simple_line_design):
+        generator = FlowTrafficGenerator(simple_line_design, injection_scale=1e6)
+        assert all(rate <= 1.0 for rate in generator.flow_rates.values())
+
+    def test_unrouted_flows_are_skipped(self, simple_line_design):
+        design = simple_line_design.copy()
+        design.routes.remove_route("f1")
+        generator = FlowTrafficGenerator(design)
+        assert "f1" not in generator.flow_rates
+
+    def test_rate_uses_technology_capacity(self, simple_line_design):
+        slow = FlowTrafficGenerator(
+            simple_line_design, tech=TechnologyParameters(frequency_hz=250e6)
+        ).flow_rates
+        fast = FlowTrafficGenerator(
+            simple_line_design, tech=TechnologyParameters(frequency_hz=1000e6)
+        ).flow_rates
+        assert slow["f0"] > fast["f0"]
+
+
+class TestGeneration:
+    def test_deterministic_for_seed(self, simple_line_design):
+        a = FlowTrafficGenerator(simple_line_design, injection_scale=50.0, seed=3)
+        b = FlowTrafficGenerator(simple_line_design, injection_scale=50.0, seed=3)
+        for cycle in range(50):
+            packets_a = [(p.flow_name, p.packet_id) for p in a.generate(cycle)]
+            packets_b = [(p.flow_name, p.packet_id) for p in b.generate(cycle)]
+            assert packets_a == packets_b
+
+    def test_packet_ids_are_unique_and_increasing(self, simple_line_design):
+        generator = FlowTrafficGenerator(simple_line_design, injection_scale=100.0, seed=1)
+        ids = []
+        for cycle in range(100):
+            ids.extend(p.packet_id for p in generator.generate(cycle))
+        assert ids == sorted(ids)
+        assert len(ids) == len(set(ids))
+
+    def test_packets_carry_route_and_size(self, simple_line_design):
+        generator = FlowTrafficGenerator(simple_line_design, injection_scale=100.0, seed=1)
+        packets = []
+        for cycle in range(50):
+            packets.extend(generator.generate(cycle))
+        assert packets, "high injection scale must produce packets"
+        for packet in packets:
+            assert packet.size_flits == 8
+            assert len(packet.route) >= 1
+
+    def test_higher_rate_generates_more_packets(self, simple_line_design):
+        low = FlowTrafficGenerator(simple_line_design, injection_scale=5.0, seed=2)
+        high = FlowTrafficGenerator(simple_line_design, injection_scale=50.0, seed=2)
+        low_count = sum(len(low.generate(c)) for c in range(200))
+        high_count = sum(len(high.generate(c)) for c in range(200))
+        assert high_count > low_count

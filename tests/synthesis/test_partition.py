@@ -1,0 +1,87 @@
+"""Tests for core-to-switch partitioning (repro.synthesis.partition)."""
+
+import pytest
+
+from repro.benchmarks.synthetic import neighbour_traffic, pipeline_traffic
+from repro.errors import SynthesisError
+from repro.synthesis.partition import (
+    cluster_sizes,
+    internal_bandwidth_fraction,
+    partition_cores,
+)
+
+
+class TestPartitionBasics:
+    def test_every_core_is_mapped(self, d26_traffic):
+        core_map = partition_cores(d26_traffic, 8)
+        assert set(core_map) == set(d26_traffic.cores)
+
+    def test_switch_count_respected(self, d26_traffic):
+        core_map = partition_cores(d26_traffic, 8)
+        assert len(set(core_map.values())) == 8
+
+    def test_switch_names_use_prefix(self, d26_traffic):
+        core_map = partition_cores(d26_traffic, 4, switch_prefix="router")
+        assert all(switch.startswith("router") for switch in core_map.values())
+
+    def test_one_switch_puts_everything_together(self, d26_traffic):
+        core_map = partition_cores(d26_traffic, 1)
+        assert set(core_map.values()) == {"sw0"}
+
+    def test_one_core_per_switch_at_maximum(self, d26_traffic):
+        core_map = partition_cores(d26_traffic, d26_traffic.core_count)
+        sizes = cluster_sizes(core_map)
+        assert all(size == 1 for size in sizes.values())
+
+    def test_deterministic(self, d26_traffic):
+        assert partition_cores(d26_traffic, 8) == partition_cores(d26_traffic, 8)
+
+
+class TestBalance:
+    def test_cluster_sizes_respect_slack(self, d36_8_traffic):
+        core_map = partition_cores(d36_8_traffic, 9, balance_slack=1)
+        sizes = cluster_sizes(core_map)
+        # ceil(36 / 9) + 1 = 5
+        assert max(sizes.values()) <= 5
+
+    def test_zero_slack_gives_tight_balance(self, d26_traffic):
+        core_map = partition_cores(d26_traffic, 13, balance_slack=0)
+        sizes = cluster_sizes(core_map)
+        assert max(sizes.values()) <= 2
+
+
+class TestQuality:
+    def test_communicating_cores_end_up_together(self):
+        # Two independent pipelines: each should collapse into one switch.
+        traffic = pipeline_traffic(["a0", "a1", "a2"], bandwidth=500.0)
+        traffic.add_cores(["b0", "b1", "b2"])
+        traffic.add_flow("pb0", "b0", "b1", 500.0)
+        traffic.add_flow("pb1", "b1", "b2", 500.0)
+        core_map = partition_cores(traffic, 2)
+        assert core_map["a0"] == core_map["a1"] == core_map["a2"]
+        assert core_map["b0"] == core_map["b1"] == core_map["b2"]
+        assert core_map["a0"] != core_map["b0"]
+
+    def test_internal_fraction_improves_with_fewer_switches(self, d26_traffic):
+        few = internal_bandwidth_fraction(d26_traffic, partition_cores(d26_traffic, 4))
+        many = internal_bandwidth_fraction(d26_traffic, partition_cores(d26_traffic, 20))
+        assert few >= many
+
+    def test_internal_fraction_bounds(self, d26_traffic):
+        fraction = internal_bandwidth_fraction(d26_traffic, partition_cores(d26_traffic, 8))
+        assert 0.0 <= fraction <= 1.0
+
+    def test_neighbour_traffic_partition(self):
+        traffic = neighbour_traffic(12)
+        core_map = partition_cores(traffic, 4)
+        assert len(set(core_map.values())) == 4
+
+
+class TestErrors:
+    def test_too_many_switches_rejected(self, d26_traffic):
+        with pytest.raises(SynthesisError):
+            partition_cores(d26_traffic, d26_traffic.core_count + 1)
+
+    def test_zero_switches_rejected(self, d26_traffic):
+        with pytest.raises(SynthesisError):
+            partition_cores(d26_traffic, 0)

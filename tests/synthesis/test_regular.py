@@ -1,0 +1,108 @@
+"""Tests for regular topologies (repro.synthesis.regular)."""
+
+import pytest
+
+from repro.core.cdg import build_cdg
+from repro.errors import SynthesisError
+from repro.model.validation import validate_design
+from repro.synthesis.regular import (
+    attach_cores_round_robin,
+    mesh_design,
+    mesh_topology,
+    ring_design,
+    ring_topology,
+    torus_topology,
+)
+
+
+class TestRingTopology:
+    def test_unidirectional_ring_link_count(self):
+        topo = ring_topology(5)
+        assert topo.switch_count == 5
+        assert topo.link_count == 5
+
+    def test_bidirectional_ring_link_count(self):
+        topo = ring_topology(5, bidirectional=True)
+        assert topo.link_count == 10
+
+    def test_too_small_ring_rejected(self):
+        with pytest.raises(SynthesisError):
+            ring_topology(2)
+
+    def test_ring_is_connected(self):
+        assert ring_topology(6).is_connected()
+
+
+class TestMeshAndTorus:
+    def test_mesh_dimensions(self):
+        topo = mesh_topology(3, 4)
+        assert topo.switch_count == 12
+        # internal bidirectional links: horizontal 3*(4-1) + vertical 4*(3-1)
+        assert topo.link_count == 2 * (3 * 3 + 4 * 2)
+
+    def test_mesh_bad_dimensions_rejected(self):
+        with pytest.raises(SynthesisError):
+            mesh_topology(0, 3)
+
+    def test_torus_has_wraparound_links(self):
+        mesh = mesh_topology(3, 3)
+        torus = torus_topology(3, 3)
+        assert torus.link_count == mesh.link_count + 2 * (3 + 3)
+
+    def test_torus_too_small_rejected(self):
+        with pytest.raises(SynthesisError):
+            torus_topology(2, 4)
+
+
+class TestRingDesign:
+    def test_default_traffic_created(self):
+        design = ring_design(6)
+        assert design.traffic.core_count == 6
+        assert design.traffic.flow_count == 6
+        validate_design(design)
+
+    def test_unidirectional_ring_design_has_cyclic_cdg(self):
+        assert not build_cdg(ring_design(6)).is_acyclic()
+
+    def test_bidirectional_ring_design(self):
+        design = ring_design(6, bidirectional=True)
+        validate_design(design)
+
+    def test_custom_traffic_attached_round_robin(self, d26_traffic):
+        design = ring_design(6, traffic=d26_traffic, bidirectional=True)
+        assert set(design.core_map) == set(d26_traffic.cores)
+        validate_design(design)
+
+
+class TestMeshDesign:
+    def test_default_mesh_design_valid(self):
+        design = mesh_design(3, 3)
+        validate_design(design)
+        assert design.traffic.core_count == 9
+
+    def test_xy_routing_acyclic(self):
+        assert build_cdg(mesh_design(3, 3)).is_acyclic()
+
+    def test_shortest_path_routing_variant(self):
+        design = mesh_design(3, 3, routing="shortest")
+        validate_design(design)
+
+    def test_custom_traffic_on_mesh(self, d26_traffic):
+        design = mesh_design(3, 3, traffic=d26_traffic)
+        validate_design(design)
+
+
+class TestAttachRoundRobin:
+    def test_all_cores_attached(self, d26_traffic):
+        topo = mesh_topology(3, 3)
+        core_map = attach_cores_round_robin(topo, d26_traffic)
+        assert set(core_map) == set(d26_traffic.cores)
+        assert set(core_map.values()) <= set(topo.switches)
+
+    def test_distribution_is_balanced(self, d26_traffic):
+        topo = mesh_topology(3, 3)
+        core_map = attach_cores_round_robin(topo, d26_traffic)
+        counts = {}
+        for switch in core_map.values():
+            counts[switch] = counts.get(switch, 0) + 1
+        assert max(counts.values()) - min(counts.values()) <= 1

@@ -1,0 +1,110 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.examples_data.paper_ring import paper_ring_design
+from repro.model.serialization import load_design, save_design
+
+
+@pytest.fixture
+def ring_file(tmp_path):
+    return save_design(paper_ring_design(), tmp_path / "ring.json")
+
+
+class TestAnalyze:
+    def test_analyze_reports_cycle(self, ring_file, capsys):
+        assert main(["analyze", str(ring_file)]) == 0
+        out = capsys.readouterr().out
+        assert "deadlock free    : NO" in out
+        assert "smallest cycle" in out
+
+    def test_analyze_strict_fails_on_cyclic_design(self, ring_file):
+        assert main(["analyze", "--strict", str(ring_file)]) == 1
+
+    def test_analyze_acyclic_design(self, tmp_path, capsys, simple_line_design):
+        path = save_design(simple_line_design, tmp_path / "line.json")
+        assert main(["analyze", "--strict", str(path)]) == 0
+        assert "deadlock free    : yes" in capsys.readouterr().out
+
+    def test_missing_file_is_a_clean_error(self, tmp_path, capsys):
+        assert main(["analyze", str(tmp_path / "none.json")]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestRemoveAndOrdering:
+    def test_remove_writes_deadlock_free_design(self, ring_file, tmp_path, capsys):
+        out_path = tmp_path / "fixed.json"
+        assert main(["remove", str(ring_file), "-o", str(out_path)]) == 0
+        fixed = load_design(out_path)
+        from repro.core.cdg import build_cdg
+
+        assert build_cdg(fixed).is_acyclic()
+        assert fixed.extra_vc_count == 1
+        assert "virtual channels added" in capsys.readouterr().out
+
+    def test_ordering_writes_design(self, ring_file, tmp_path, capsys):
+        out_path = tmp_path / "ordered.json"
+        assert main(["ordering", str(ring_file), "-o", str(out_path)]) == 0
+        ordered = load_design(out_path)
+        assert ordered.extra_vc_count == 3
+        assert "extra VC" in capsys.readouterr().out
+
+    def test_ordering_layered_strategy(self, ring_file, capsys):
+        assert main(["ordering", str(ring_file), "--strategy", "layered"]) == 0
+
+
+class TestSynthesizeAndSimulate:
+    def test_synthesize_benchmark(self, tmp_path, capsys):
+        out_path = tmp_path / "d26.json"
+        assert main(
+            ["synthesize", "D26_media", "--switches", "8", "-o", str(out_path)]
+        ) == 0
+        design = load_design(out_path)
+        assert design.topology.switch_count == 8
+        assert "mW" in capsys.readouterr().out
+
+    def test_synthesize_unknown_benchmark_fails_cleanly(self, capsys):
+        assert main(["synthesize", "D99"]) == 2
+        assert "error" in capsys.readouterr().err
+
+    def test_simulate_design(self, ring_file, capsys):
+        code = main(
+            ["simulate", str(ring_file), "--cycles", "500", "--injection-scale", "0.5"]
+        )
+        out = capsys.readouterr().out
+        assert "packets injected" in out
+        assert code in (0, 1)
+
+    def test_simulate_detects_deadlock_exit_code(self, ring_file):
+        code = main(
+            [
+                "simulate",
+                str(ring_file),
+                "--cycles",
+                "5000",
+                "--injection-scale",
+                "6.0",
+                "--buffer-depth",
+                "2",
+                "--seed",
+                "1",
+            ]
+        )
+        assert code == 1
+
+
+class TestListing:
+    def test_benchmarks_listing(self, capsys):
+        assert main(["benchmarks"]) == 0
+        out = capsys.readouterr().out
+        for name in ("D26_media", "D36_8", "D38_tvopd"):
+            assert name in out
+
+    def test_figures_10_json_output(self, capsys):
+        assert main(["figures", "10"]) == 0
+        data = json.loads(capsys.readouterr().out)
+        assert data["switch_count"] == 14
+        assert len(data["benchmarks"]) == 6

@@ -1,0 +1,39 @@
+"""Tests for the CLI export subcommand."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.removal import remove_deadlocks
+from repro.examples_data.paper_ring import paper_ring_design
+from repro.model.serialization import save_design
+
+
+@pytest.fixture
+def fixed_ring_file(tmp_path):
+    design = remove_deadlocks(paper_ring_design()).design
+    return save_design(design, tmp_path / "ring_fixed.json")
+
+
+class TestExport:
+    def test_topology_dot_to_stdout(self, fixed_ring_file, capsys):
+        assert main(["export", str(fixed_ring_file), "topology"]) == 0
+        out = capsys.readouterr().out
+        assert out.startswith("digraph")
+        assert "SW1" in out
+
+    def test_cdg_dot_to_file(self, fixed_ring_file, tmp_path):
+        out_path = tmp_path / "cdg.dot"
+        assert main(["export", str(fixed_ring_file), "cdg", "-o", str(out_path)]) == 0
+        content = out_path.read_text()
+        assert content.startswith("digraph")
+        assert ".vc0" in content
+
+    def test_report_output(self, fixed_ring_file, capsys):
+        assert main(["export", str(fixed_ring_file), "report"]) == 0
+        out = capsys.readouterr().out
+        assert "switches       : 4" in out
+        assert "1 extra VCs" in out
+
+    def test_export_missing_file_fails_cleanly(self, tmp_path, capsys):
+        assert main(["export", str(tmp_path / "nope.json"), "topology"]) == 2
+        assert "error" in capsys.readouterr().err

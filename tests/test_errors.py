@@ -1,0 +1,49 @@
+"""Tests for the exception hierarchy (repro.errors)."""
+
+import pytest
+
+from repro import errors
+
+
+class TestHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        for name in dir(errors):
+            obj = getattr(errors, name)
+            if isinstance(obj, type) and issubclass(obj, Exception) and obj is not errors.ReproError:
+                if obj.__module__ == "repro.errors":
+                    assert issubclass(obj, errors.ReproError), name
+
+    def test_design_errors_grouped(self):
+        assert issubclass(errors.TopologyError, errors.DesignError)
+        assert issubclass(errors.TrafficError, errors.DesignError)
+        assert issubclass(errors.RouteError, errors.DesignError)
+        assert issubclass(errors.ValidationError, errors.DesignError)
+
+    def test_convergence_is_a_removal_error(self):
+        assert issubclass(errors.ConvergenceError, errors.RemovalError)
+
+    def test_deadlock_detected_is_a_simulation_error(self):
+        assert issubclass(errors.DeadlockDetected, errors.SimulationError)
+
+
+class TestPayloads:
+    def test_validation_error_keeps_problems(self):
+        exc = errors.ValidationError(["a", "b", "c"])
+        assert exc.problems == ["a", "b", "c"]
+        assert "a" in str(exc)
+
+    def test_validation_error_truncates_long_lists(self):
+        exc = errors.ValidationError([f"problem {i}" for i in range(10)])
+        assert "+5 more" in str(exc)
+
+    def test_convergence_error_payload(self):
+        exc = errors.ConvergenceError(12, 3)
+        assert exc.iterations == 12
+        assert exc.remaining_cycles == 3
+        assert "12" in str(exc)
+
+    def test_deadlock_detected_payload(self):
+        exc = errors.DeadlockDetected(500, ["c1", "c2"])
+        assert exc.cycle == 500
+        assert len(exc.blocked_channels) == 2
+        assert "500" in str(exc)

@@ -1,0 +1,27 @@
+"""Tests of the top-level public API surface (``import repro``)."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_version_is_exposed(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), f"repro.{name} missing"
+
+    def test_headline_workflow_through_top_level_names_only(self):
+        design = repro.paper_ring_design()
+        assert not repro.is_deadlock_free(design)
+        result = repro.remove_deadlocks(design)
+        assert repro.build_cdg(result.design).is_acyclic()
+        assert repro.apply_resource_ordering(design).extra_vcs > result.added_vc_count
+        assert "digraph" in repro.topology_to_dot(result.design)
+
+    def test_benchmark_names_available(self):
+        assert "D26_media" in repro.list_benchmarks()
+
+    def test_errors_accessible_from_package(self):
+        assert issubclass(repro.ConvergenceError, repro.ReproError)
+        assert issubclass(repro.ValidationError, repro.DesignError)
