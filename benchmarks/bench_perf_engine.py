@@ -1,0 +1,196 @@
+"""Before/after microbenchmark of the incremental removal engine.
+
+The Section 5 runtime claim ("runs within minutes even for the largest
+benchmark and is scalable") left an order of magnitude on the table in the
+seed reproduction: the outer loop rebuilt the CDG from scratch after every
+break and BFS-searched every vertex for the smallest cycle.  This benchmark
+pits the seed behaviour (``engine="rebuild"``) against the performance core
+(``engine="incremental"``: route-delta CDG maintenance + SCC-pruned indexed
+cycle search) on the paper's largest configuration — D36_8 at 35 switches —
+and asserts:
+
+* the two engines produce an *identical* break-action sequence on seed=0;
+* the incremental engine is at least ``3x`` faster end-to-end.
+
+Results are persisted both to ``benchmarks/results/perf_engine.json`` (the
+harness convention) and to ``BENCH_perf_engine.json`` at the repository
+root.  Runnable standalone::
+
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py           # full
+    PYTHONPATH=src python benchmarks/bench_perf_engine.py --smoke   # CI, <60 s
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+from typing import List, Optional
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+ROOT_RESULT_PATH = REPO_ROOT / "BENCH_perf_engine.json"
+
+from repro.benchmarks.registry import get_benchmark
+from repro.core.cdg import build_cdg
+from repro.core.cycles import find_smallest_cycle
+from repro.core.removal import remove_deadlocks
+from repro.perf.cdg_index import CDGIndex
+from repro.perf.cycle_search import IncrementalCycleSearch
+from repro.synthesis.builder import SynthesisConfig, synthesize_design
+
+#: Acceptance threshold of the full benchmark (D36_8 @ 35 switches).
+FULL_SPEEDUP_THRESHOLD = 3.0
+#: Looser threshold for the CI smoke configuration (smaller topology, one
+#: round — process noise on shared runners dominates small absolute times).
+SMOKE_SPEEDUP_THRESHOLD = 1.5
+
+
+def _action_signature(result) -> List[tuple]:
+    """Comparable summary of a removal run's break sequence."""
+    return [
+        (
+            action.iteration,
+            action.direction,
+            tuple(c.name for c in action.cycle),
+            action.broken_edge[0].name,
+            action.broken_edge[1].name,
+            action.cost,
+            action.flows_rerouted,
+            tuple(sorted((old.name, new.name) for old, new in action.channels_added.items())),
+        )
+        for action in result.actions
+    ]
+
+
+def run_perf_engine(
+    *, benchmark: str = "D36_8", switch_count: int = 35, seed: int = 0, rounds: int = 3
+) -> dict:
+    """Time rebuild vs. incremental removal and verify identical actions."""
+    traffic = get_benchmark(benchmark, seed=seed)
+    design = synthesize_design(traffic, SynthesisConfig(n_switches=switch_count, seed=seed))
+
+    # One-shot component comparison: a single smallest-cycle query on the
+    # initial (cyclic) CDG, seed search vs. indexed search.
+    cdg = build_cdg(design)
+    start = time.perf_counter()
+    seed_cycle = find_smallest_cycle(cdg)
+    seed_search_seconds = time.perf_counter() - start
+    index = CDGIndex.from_routes(design.routes)
+    start = time.perf_counter()
+    indexed_cycle = IncrementalCycleSearch(index).find_smallest()
+    indexed_search_seconds = time.perf_counter() - start
+    assert seed_cycle == indexed_cycle, "indexed cycle search diverged from seed"
+
+    before_times: List[float] = []
+    after_times: List[float] = []
+    before_result = after_result = None
+    for _ in range(max(rounds, 1)):
+        start = time.perf_counter()
+        before_result = remove_deadlocks(design, engine="rebuild")
+        before_times.append(time.perf_counter() - start)
+        start = time.perf_counter()
+        after_result = remove_deadlocks(design, engine="incremental")
+        after_times.append(time.perf_counter() - start)
+
+    before_sig = _action_signature(before_result)
+    after_sig = _action_signature(after_result)
+    actions_identical = before_sig == after_sig
+
+    before_s = min(before_times)
+    after_s = min(after_times)
+    return {
+        "benchmark": benchmark,
+        "switch_count": switch_count,
+        "seed": seed,
+        "rounds": max(rounds, 1),
+        "iterations": after_result.iterations,
+        "added_vcs": after_result.added_vc_count,
+        "initial_cycle_count": after_result.initial_cycle_count,
+        "before_rebuild_seconds": before_s,
+        "after_incremental_seconds": after_s,
+        "speedup": before_s / after_s if after_s > 0 else float("inf"),
+        "smallest_cycle_search_before_seconds": seed_search_seconds,
+        "smallest_cycle_search_after_seconds": indexed_search_seconds,
+        "actions_identical": actions_identical,
+        "break_sequence_length": len(after_sig),
+    }
+
+
+def _persist(data: dict) -> None:
+    """Write the numbers to the harness results dir and the repo root."""
+    results_dir = Path(__file__).parent / "results"
+    results_dir.mkdir(parents=True, exist_ok=True)
+    payload = json.dumps(data, indent=2, sort_keys=True)
+    (results_dir / "perf_engine.json").write_text(payload)
+    ROOT_RESULT_PATH.write_text(payload + "\n")
+
+
+def _report(data: dict) -> str:
+    return "\n".join(
+        [
+            f"perf engine benchmark — {data['benchmark']} @ "
+            f"{data['switch_count']} switches (seed {data['seed']})",
+            f"  iterations / VCs added : {data['iterations']} / {data['added_vcs']}",
+            f"  rebuild engine         : {data['before_rebuild_seconds']:.3f} s",
+            f"  incremental engine     : {data['after_incremental_seconds']:.3f} s",
+            f"  end-to-end speedup     : {data['speedup']:.2f}x",
+            f"  smallest-cycle search  : {data['smallest_cycle_search_before_seconds'] * 1e3:.1f} ms"
+            f" -> {data['smallest_cycle_search_after_seconds'] * 1e3:.1f} ms",
+            f"  identical break actions: {data['actions_identical']}",
+        ]
+    )
+
+
+def test_perf_engine_speedup(benchmark):
+    """Harness entry: full configuration, asserts the 3x acceptance bar."""
+    data = benchmark.pedantic(run_perf_engine, rounds=1, iterations=1)
+    print("\n" + _report(data))
+    _persist(data)
+    assert data["actions_identical"], "engines disagreed on the break sequence"
+    assert data["speedup"] >= FULL_SPEEDUP_THRESHOLD, (
+        f"incremental engine speedup {data['speedup']:.2f}x below "
+        f"{FULL_SPEEDUP_THRESHOLD}x"
+    )
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--benchmark", default="D36_8")
+    parser.add_argument("--switches", type=int, default=35)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--rounds", type=int, default=3)
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help="small CI configuration (18 switches, 1 round, looser threshold)",
+    )
+    args = parser.parse_args(argv)
+    if args.smoke:
+        data = run_perf_engine(
+            benchmark=args.benchmark, switch_count=18, seed=args.seed, rounds=1
+        )
+        threshold = SMOKE_SPEEDUP_THRESHOLD
+    else:
+        data = run_perf_engine(
+            benchmark=args.benchmark,
+            switch_count=args.switches,
+            seed=args.seed,
+            rounds=args.rounds,
+        )
+        threshold = FULL_SPEEDUP_THRESHOLD
+    print(_report(data))
+    _persist(data)
+    print(f"wrote {ROOT_RESULT_PATH}")
+    if not data["actions_identical"]:
+        print("FAIL: engines disagreed on the break sequence", file=sys.stderr)
+        return 1
+    if data["speedup"] < threshold:
+        print(f"FAIL: speedup {data['speedup']:.2f}x < {threshold}x", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -49,6 +49,7 @@ from repro.model.serialization import load_design, save_design
 from repro.model.topology import Topology
 from repro.model.traffic import CommunicationGraph, Flow
 from repro.model.validation import validate_design
+from repro.perf import CDGIndex, IncrementalCycleSearch, parallel_map
 from repro.power.estimator import estimate_area, estimate_power
 from repro.power.orion import RouterPowerModel, TechnologyParameters
 from repro.routing.ordering import OrderingResult, apply_resource_ordering
@@ -103,6 +104,10 @@ __all__ = [
     "Simulator",
     "SimulationConfig",
     "simulate_design",
+    # performance core
+    "CDGIndex",
+    "IncrementalCycleSearch",
+    "parallel_map",
     # analysis
     "MethodComparison",
     "compare_methods",

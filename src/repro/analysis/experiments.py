@@ -23,6 +23,7 @@ from repro.core.removal import remove_deadlocks
 from repro.core.report import RemovalResult
 from repro.model.design import NocDesign
 from repro.model.traffic import CommunicationGraph
+from repro.perf.executor import parallel_map
 from repro.power.estimator import (
     NocAreaReport,
     NocPowerReport,
@@ -172,18 +173,30 @@ def compare_methods(
     )
 
 
+def _compare_point(args) -> MethodComparison:
+    """Process-pool worker: one ``compare_methods`` point, fully materialised.
+
+    Must stay module-level so :func:`repro.perf.executor.parallel_map` can
+    pickle it into worker processes.
+    """
+    traffic, count, seed, overrides = args
+    return compare_methods(traffic, count, seed=seed, synthesis_overrides=overrides)
+
+
 def sweep_switch_counts(
     benchmark: Union[str, CommunicationGraph],
     switch_counts: Sequence[int],
     *,
     seed: int = 0,
     synthesis_overrides: Optional[Dict] = None,
+    jobs: Optional[int] = None,
 ) -> List[MethodComparison]:
-    """Repeat :func:`compare_methods` over several switch counts (Figures 8/9)."""
+    """Repeat :func:`compare_methods` over several switch counts (Figures 8/9).
+
+    Each point is an independent synthesize/remove/order/estimate pipeline;
+    ``jobs`` fans them out over a process pool (results stay in
+    ``switch_counts`` order; ``None``/``0``/``1`` runs serially).
+    """
     traffic = _resolve_traffic(benchmark, seed)
-    return [
-        compare_methods(
-            traffic, count, seed=seed, synthesis_overrides=synthesis_overrides
-        )
-        for count in switch_counts
-    ]
+    points = [(traffic, count, seed, synthesis_overrides) for count in switch_counts]
+    return parallel_map(_compare_point, points, jobs=jobs)

@@ -14,6 +14,7 @@ from repro.analysis.experiments import compare_methods, sweep_switch_counts
 from repro.analysis.metrics import arithmetic_mean
 from repro.benchmarks.registry import get_benchmark
 from repro.core.removal import remove_deadlocks
+from repro.perf.executor import parallel_map
 from repro.synthesis.builder import SynthesisConfig, synthesize_design
 
 #: Switch counts of Figure 8 (D26_media, x-axis 5..25).
@@ -37,12 +38,27 @@ FIGURE10_BENCHMARKS: List[str] = [
 FIGURE10_SWITCH_COUNT = 14
 
 
+def _benchmark_point(args):
+    """Process-pool worker for the per-benchmark sweeps (module-level for pickling)."""
+    name, switch_count, seed = args
+    return compare_methods(name, switch_count, seed=seed)
+
+
+def _compare_benchmarks(names, switch_count, seed, jobs):
+    """One :func:`compare_methods` per benchmark, optionally in parallel."""
+    points = [(name, switch_count, seed) for name in names]
+    return parallel_map(_benchmark_point, points, jobs=jobs)
+
+
 def figure8_series(
-    *, switch_counts: Optional[Sequence[int]] = None, seed: int = 0
+    *,
+    switch_counts: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """Figure 8: extra VCs vs. switch count for D26_media."""
     counts = list(switch_counts or FIGURE8_SWITCH_COUNTS)
-    comparisons = sweep_switch_counts("D26_media", counts, seed=seed)
+    comparisons = sweep_switch_counts("D26_media", counts, seed=seed, jobs=jobs)
     return {
         "benchmark": "D26_media",
         "switch_counts": counts,
@@ -52,11 +68,14 @@ def figure8_series(
 
 
 def figure9_series(
-    *, switch_counts: Optional[Sequence[int]] = None, seed: int = 0
+    *,
+    switch_counts: Optional[Sequence[int]] = None,
+    seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """Figure 9: extra VCs vs. switch count for D36_8."""
     counts = list(switch_counts or FIGURE9_SWITCH_COUNTS)
-    comparisons = sweep_switch_counts("D36_8", counts, seed=seed)
+    comparisons = sweep_switch_counts("D36_8", counts, seed=seed, jobs=jobs)
     return {
         "benchmark": "D36_8",
         "switch_counts": counts,
@@ -70,14 +89,14 @@ def figure10_power_series(
     benchmarks: Optional[Sequence[str]] = None,
     switch_count: int = FIGURE10_SWITCH_COUNT,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """Figure 10: power of resource ordering normalised to deadlock removal."""
     names = list(benchmarks or FIGURE10_BENCHMARKS)
     removal_norm: List[float] = []
     ordering_norm: List[float] = []
     savings: List[float] = []
-    for name in names:
-        comparison = compare_methods(name, switch_count, seed=seed)
+    for comparison in _compare_benchmarks(names, switch_count, seed, jobs):
         removal_norm.append(1.0)
         ordering_norm.append(comparison.normalised_ordering_power)
         savings.append(comparison.power_saving_percent)
@@ -96,6 +115,7 @@ def area_savings_table(
     benchmarks: Optional[Sequence[str]] = None,
     switch_count: int = FIGURE10_SWITCH_COUNT,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """The §5 area claim: VC and area reduction of removal vs. ordering."""
     names = list(benchmarks or FIGURE10_BENCHMARKS)
@@ -103,8 +123,7 @@ def area_savings_table(
     area_saving: List[float] = []
     removal_vcs: List[int] = []
     ordering_vcs: List[int] = []
-    for name in names:
-        comparison = compare_methods(name, switch_count, seed=seed)
+    for comparison in _compare_benchmarks(names, switch_count, seed, jobs):
         vc_reduction.append(comparison.vc_reduction_percent)
         area_saving.append(comparison.area_saving_percent)
         removal_vcs.append(comparison.removal_extra_vcs)
@@ -126,13 +145,13 @@ def overhead_vs_unprotected(
     benchmarks: Optional[Sequence[str]] = None,
     switch_count: int = FIGURE10_SWITCH_COUNT,
     seed: int = 0,
+    jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """The §5 overhead claim: removal vs. designs with no deadlock handling."""
     names = list(benchmarks or FIGURE10_BENCHMARKS)
     power_overhead: List[float] = []
     area_overhead: List[float] = []
-    for name in names:
-        comparison = compare_methods(name, switch_count, seed=seed)
+    for comparison in _compare_benchmarks(names, switch_count, seed, jobs):
         power_overhead.append(comparison.removal_power_overhead_percent)
         area_overhead.append(comparison.removal_area_overhead_percent)
     return {

@@ -135,16 +135,17 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
 
 def _cmd_figures(args: argparse.Namespace) -> int:
     which = args.figure
+    jobs = args.jobs
     if which in ("8", "all"):
-        print(json.dumps(figure8_series(seed=args.seed), indent=2))
+        print(json.dumps(figure8_series(seed=args.seed, jobs=jobs), indent=2))
     if which in ("9", "all"):
-        print(json.dumps(figure9_series(seed=args.seed), indent=2))
+        print(json.dumps(figure9_series(seed=args.seed, jobs=jobs), indent=2))
     if which in ("10", "all"):
-        print(json.dumps(figure10_power_series(seed=args.seed), indent=2))
+        print(json.dumps(figure10_power_series(seed=args.seed, jobs=jobs), indent=2))
     if which in ("area", "all"):
-        print(json.dumps(area_savings_table(seed=args.seed), indent=2))
+        print(json.dumps(area_savings_table(seed=args.seed, jobs=jobs), indent=2))
     if which in ("overhead", "all"):
-        print(json.dumps(overhead_vs_unprotected(seed=args.seed), indent=2))
+        print(json.dumps(overhead_vs_unprotected(seed=args.seed, jobs=jobs), indent=2))
     return 0
 
 
@@ -199,6 +200,14 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("figures", help="regenerate the data behind the paper's figures")
     p.add_argument("figure", choices=["8", "9", "10", "area", "overhead", "all"])
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan sweep points out over N worker processes "
+        "(default: serial; -1 = one per CPU)",
+    )
     p.set_defaults(func=_cmd_figures)
     return parser
 

@@ -123,8 +123,10 @@ def break_cycle(
 
     duplicates: Dict[Channel, Channel] = {}
     rerouted: List[str] = []
+    previous_routes: Dict[str, Route] = {}
     for flow_name in affected:
         route = design.routes.route(flow_name)
+        previous_routes[flow_name] = route
         positions = _positions_to_duplicate(route, cycle_set, edge, direction)
         if not positions:
             # Cannot happen for a genuine dependency: the edge's own channel
@@ -158,6 +160,7 @@ def break_cycle(
         flows_rerouted=tuple(sorted(rerouted)),
         channels_added=duplicates,
         cost_table=cost_table,
+        previous_routes=previous_routes,
     )
 
 

@@ -14,6 +14,7 @@ from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 import networkx as nx
 
+from repro.errors import DesignError
 from repro.model.channels import Channel
 from repro.model.design import NocDesign
 from repro.model.routes import RouteSet
@@ -32,6 +33,10 @@ class ChannelDependencyGraph:
         self._pred: Dict[Channel, Set[Channel]] = {}
         # (ci, cj) -> set of flow names creating the dependency
         self._edge_flows: Dict[Tuple[Channel, Channel], Set[str]] = {}
+        # Sorted views of the vertex/edge sets, rebuilt lazily after mutation
+        # so repeated reporting calls stop re-sorting the same data.
+        self._channels_cache: Optional[List[Channel]] = None
+        self._edges_cache: Optional[List[Tuple[Channel, Channel]]] = None
 
     # ------------------------------------------------------------------
     # construction
@@ -41,14 +46,21 @@ class ChannelDependencyGraph:
         if channel not in self._succ:
             self._succ[channel] = set()
             self._pred[channel] = set()
+            self._channels_cache = None
 
     def add_dependency(self, first: Channel, second: Channel, flow_name: str) -> None:
         """Record that ``flow_name`` uses ``first`` immediately before ``second``."""
+        if first == second:
+            raise DesignError(
+                f"self-loop dependency on channel {first.name}: a channel "
+                "cannot depend on itself (its link would need src == dst)"
+            )
         self.add_channel(first)
         self.add_channel(second)
         self._succ[first].add(second)
         self._pred[second].add(first)
         self._edge_flows.setdefault((first, second), set()).add(flow_name)
+        self._edges_cache = None
 
     def add_route(self, flow_name: str, channels: Iterable[Channel]) -> None:
         """Add every consecutive channel pair of a route as dependencies."""
@@ -64,7 +76,9 @@ class ChannelDependencyGraph:
     @property
     def channels(self) -> List[Channel]:
         """All vertices, sorted."""
-        return sorted(self._succ)
+        if self._channels_cache is None:
+            self._channels_cache = sorted(self._succ)
+        return list(self._channels_cache)
 
     @property
     def channel_count(self) -> int:
@@ -74,7 +88,9 @@ class ChannelDependencyGraph:
     @property
     def edges(self) -> List[Tuple[Channel, Channel]]:
         """All dependency edges, sorted."""
-        return sorted(self._edge_flows)
+        if self._edges_cache is None:
+            self._edges_cache = sorted(self._edge_flows)
+        return list(self._edges_cache)
 
     @property
     def edge_count(self) -> int:

@@ -13,6 +13,17 @@ On top of the paper's algorithm this module exposes two ablation knobs used
 by the benchmark harness: the cycle-selection heuristic (smallest / largest
 / random) and the direction policy (best-of-both / forward-only /
 backward-only).
+
+Two interchangeable engines drive the loop:
+
+* ``engine="incremental"`` (default) — the performance core from
+  :mod:`repro.perf`: the CDG is maintained incrementally from the route
+  deltas each break reports, and the smallest-cycle search is SCC-pruned
+  and cached per component, re-searching only the dirty region.  Identical
+  :class:`~repro.core.report.BreakAction` sequences to the rebuild engine.
+* ``engine="rebuild"`` — the seed behaviour: ``build_cdg(work)`` from
+  scratch and a full BFS sweep per iteration.  Kept as the reference for
+  cross-checks, ablation selections (largest / random) and benchmarking.
 """
 
 from __future__ import annotations
@@ -34,6 +45,8 @@ from repro.core.report import RemovalResult
 from repro.errors import ConvergenceError, RemovalError
 from repro.model.design import NocDesign
 from repro.model.validation import validate_design
+from repro.perf.cdg_index import CDGIndex
+from repro.perf.cycle_search import IncrementalCycleSearch, count_cycles_indexed
 
 SELECT_SMALLEST = "smallest"
 SELECT_LARGEST = "largest"
@@ -44,6 +57,10 @@ POLICY_BEST = "best"
 POLICY_FORWARD = "forward"
 POLICY_BACKWARD = "backward"
 _POLICIES = (POLICY_BEST, POLICY_FORWARD, POLICY_BACKWARD)
+
+ENGINE_INCREMENTAL = "incremental"
+ENGINE_REBUILD = "rebuild"
+_ENGINES = (ENGINE_INCREMENTAL, ENGINE_REBUILD)
 
 
 class DeadlockRemover:
@@ -74,6 +91,17 @@ class DeadlockRemover:
         :class:`~repro.core.report.BreakAction` as it happens.
     validate:
         Validate the design before and after removal (recommended).
+    engine:
+        ``"incremental"`` (default) maintains the CDG from route deltas and
+        runs the SCC-pruned indexed cycle search; ``"rebuild"`` is the seed
+        behaviour (full ``build_cdg`` + full BFS sweep per iteration).  The
+        two produce identical break sequences; the incremental engine only
+        accelerates the paper's ``"smallest"`` selection and transparently
+        falls back to rebuilding for the ablation selections.
+    cross_check:
+        Debug flag: after every incremental update, rebuild the CDG from
+        scratch and assert the index matches it exactly (slow — for tests
+        and debugging only).  Ignored by the rebuild engine.
     """
 
     def __init__(
@@ -87,6 +115,8 @@ class DeadlockRemover:
         seed: int = 0,
         on_iteration: Optional[Callable] = None,
         validate: bool = True,
+        engine: str = ENGINE_INCREMENTAL,
+        cross_check: bool = False,
     ):
         if cycle_selection not in _SELECTIONS:
             raise RemovalError(f"unknown cycle selection {cycle_selection!r}")
@@ -94,6 +124,8 @@ class DeadlockRemover:
             raise RemovalError(f"unknown direction policy {direction_policy!r}")
         if resource_mode not in (RESOURCE_VIRTUAL, RESOURCE_PHYSICAL):
             raise RemovalError(f"unknown resource mode {resource_mode!r}")
+        if engine not in _ENGINES:
+            raise RemovalError(f"unknown removal engine {engine!r}")
         self.cycle_selection = cycle_selection
         self.direction_policy = direction_policy
         self.resource_mode = resource_mode
@@ -102,6 +134,8 @@ class DeadlockRemover:
         self.seed = seed
         self.on_iteration = on_iteration
         self.validate = validate
+        self.engine = engine
+        self.cross_check = cross_check
 
     # ------------------------------------------------------------------
     def _select_cycle(self, cdg, rng: random.Random):
@@ -140,6 +174,18 @@ class DeadlockRemover:
         work = design if in_place else design.copy()
 
         rng = random.Random(self.seed)
+        if self.engine == ENGINE_INCREMENTAL and self.cycle_selection == SELECT_SMALLEST:
+            result = self._remove_incremental(work)
+        else:
+            result = self._remove_rebuild(work, rng)
+
+        result.runtime_seconds = time.perf_counter() - start
+        if self.validate:
+            validate_design(work)
+        return result
+
+    def _remove_rebuild(self, work: NocDesign, rng: random.Random) -> RemovalResult:
+        """The seed loop: full CDG rebuild and full cycle re-search per break."""
         cdg = build_cdg(work)
         initial_cycles = 0
         initially_free = cdg.is_acyclic()
@@ -165,30 +211,80 @@ class DeadlockRemover:
             if iteration > max_iterations:
                 remaining = count_cycles(cdg, limit=100)
                 raise ConvergenceError(iteration - 1, remaining)
-            direction, cost, position, table = self._choose_break(cycle, work.routes)
-            action = break_cycle(
-                work,
-                cycle,
-                position,
-                direction,
-                iteration=iteration,
-                cost_table=table,
-                resource_mode=self.resource_mode,
-            )
-            result.actions.append(action)
-            if self.on_iteration is not None:
-                self.on_iteration(action)
+            action = self._apply_break(work, cycle, iteration, result)
             # The CDG is a pure function of the routes, so rebuilding it after
             # every break keeps it consistent by construction (Step 12).
             cdg = build_cdg(work)
 
         result.iterations = iteration
-        result.runtime_seconds = time.perf_counter() - start
-        if self.validate:
-            validate_design(work)
         if not cdg.is_acyclic():  # pragma: no cover - defensive
             raise RemovalError("internal error: CDG still cyclic after removal loop")
         return result
+
+    def _remove_incremental(self, work: NocDesign) -> RemovalResult:
+        """The performance-core loop: route-delta CDG updates + indexed search.
+
+        Produces the exact same :class:`~repro.core.report.BreakAction`
+        sequence as :meth:`_remove_rebuild` with ``cycle_selection="smallest"``
+        (enforced by ``cross_check=True`` and the equivalence test suite).
+        """
+        index = CDGIndex.from_routes(work.routes)
+        initially_free = index.is_acyclic()
+        initial_cycles = 0
+        if self.count_initial_cycles and not initially_free:
+            initial_cycles = count_cycles_indexed(index, limit=2000)
+
+        max_iterations = self.max_iterations
+        if max_iterations is None:
+            max_iterations = 100 + 10 * max(index.edge_count, 1)
+
+        result = RemovalResult(
+            design=work,
+            initially_deadlock_free=initially_free,
+            initial_cycle_count=initial_cycles,
+        )
+
+        search = IncrementalCycleSearch(index)
+        iteration = 0
+        while True:
+            cycle = search.find_smallest()
+            if cycle is None:
+                break
+            iteration += 1
+            if iteration > max_iterations:
+                remaining = count_cycles_indexed(index, limit=100)
+                raise ConvergenceError(iteration - 1, remaining)
+            action = self._apply_break(work, cycle, iteration, result)
+            # Apply the break's route delta instead of rebuilding: remove the
+            # dependencies of every rerouted flow's old route, add the new ones.
+            for flow_name, old_route in (action.previous_routes or {}).items():
+                index.apply_route_change(
+                    flow_name, old_route.channels, work.routes.route(flow_name).channels
+                )
+            if self.cross_check:
+                index.verify_against(build_cdg(work))
+
+        result.iterations = iteration
+        if not index.is_acyclic():  # pragma: no cover - defensive
+            raise RemovalError("internal error: CDG still cyclic after removal loop")
+        return result
+
+    def _apply_break(self, work: NocDesign, cycle, iteration: int, result: RemovalResult):
+        """Cost both directions, break the cheaper one, record the action."""
+        direction, cost, position, table = self._choose_break(cycle, work.routes)
+        action = break_cycle(
+            work,
+            cycle,
+            position,
+            direction,
+            iteration=iteration,
+            cost_table=table,
+            resource_mode=self.resource_mode,
+        )
+        result.actions.append(action)
+        if self.on_iteration is not None:
+            self.on_iteration(action)
+        return action
 
 
 def remove_deadlocks(design: NocDesign, **options) -> RemovalResult:

@@ -8,6 +8,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.cost import CostTable
 from repro.model.channels import Channel
 from repro.model.design import NocDesign
+from repro.model.routes import Route
 
 
 @dataclass
@@ -34,6 +35,12 @@ class BreakAction:
         fresh VC index).
     cost_table:
         The full cost table of the chosen direction, for reporting.
+    previous_routes:
+        The routes of the rerouted flows *before* this break.  Together with
+        the flows' current routes this is the exact route delta of the break,
+        which the incremental CDG engine (:mod:`repro.perf.cdg_index`)
+        applies instead of rebuilding the graph.  Excluded from equality so
+        that action sequences compare on what was broken, not on bookkeeping.
     """
 
     iteration: int
@@ -44,6 +51,9 @@ class BreakAction:
     flows_rerouted: Tuple[str, ...]
     channels_added: Dict[Channel, Channel]
     cost_table: Optional[CostTable] = None
+    previous_routes: Optional[Dict[str, Route]] = field(
+        default=None, compare=False, repr=False
+    )
 
     @property
     def added_vc_count(self) -> int:

@@ -1,0 +1,33 @@
+"""repro.perf — the performance core of the reproduction.
+
+Three pieces, all behaviour-preserving accelerations of the seed code paths:
+
+* :mod:`repro.perf.cdg_index` — :class:`~repro.perf.cdg_index.CDGIndex`, an
+  incrementally maintained channel dependency graph over dense integer ids
+  with dirty-region tracking (replaces the per-iteration ``build_cdg``
+  rebuild of Algorithm 1's outer loop);
+* :mod:`repro.perf.cycle_search` — SCC-pruned, per-component-cached
+  smallest-cycle search that returns exactly what
+  :func:`repro.core.cycles.find_smallest_cycle` would on a fresh rebuild;
+* :mod:`repro.perf.executor` — an ordered, serial-fallback
+  ``ProcessPoolExecutor`` map used by the figure sweeps and the CLI's
+  ``--jobs`` flag.
+"""
+
+from repro.perf.cdg_index import CDGIndex, channel_sort_key
+from repro.perf.cycle_search import (
+    IncrementalCycleSearch,
+    count_cycles_indexed,
+    tarjan_sccs,
+)
+from repro.perf.executor import parallel_map, resolve_jobs
+
+__all__ = [
+    "CDGIndex",
+    "channel_sort_key",
+    "IncrementalCycleSearch",
+    "count_cycles_indexed",
+    "tarjan_sccs",
+    "parallel_map",
+    "resolve_jobs",
+]

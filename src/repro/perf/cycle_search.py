@@ -1,0 +1,211 @@
+"""Indexed smallest-cycle search with SCC pruning and dirty-region caching.
+
+``GetSmallestCycle`` in the seed implementation BFS-searches from *every*
+vertex of the CDG on *every* removal iteration.  Three observations make the
+search incremental without changing a single returned cycle:
+
+1. **SCC pruning** — a cycle through ``v`` lies entirely inside ``v``'s
+   strongly connected component: every vertex on a path from ``v`` back to
+   ``v`` both reaches and is reached from ``v``.  Vertices in trivial SCCs
+   (the Kahn-peelable part of the graph) can never yield a cycle, so BFS
+   only needs to run from vertices of non-trivial SCCs, restricted to their
+   own component.  The same argument shows a BFS tree rooted inside an SCC
+   never leaves it, so the restricted BFS discovers the exact same parent
+   pointers — and therefore the exact same cycle — as the full-graph BFS.
+
+2. **Per-SCC decomposition of the tie-break** — the seed loop keeps the
+   first start vertex (in channel sort order) achieving the minimal cycle
+   length.  Because SCCs partition the vertices, that winner is the best
+   vertex of the SCC with the lexicographically smallest
+   ``(cycle length, start key)`` pair.
+
+3. **Dirty-region reuse** — a break only re-routes a few flows, so most
+   SCCs survive an iteration with identical membership and untouched
+   adjacency.  Their cached ``(length, start, cycle)`` result is still
+   exact; only components containing a *dirty* vertex (adjacency changed
+   since the last search, tracked by :class:`~repro.perf.cdg_index.CDGIndex`)
+   are re-searched.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, List, NamedTuple, Optional, Tuple
+
+import networkx as nx
+
+from repro.perf.cdg_index import CDGIndex, ChannelKey
+from repro.model.channels import Channel
+
+
+class SccCycleEntry(NamedTuple):
+    """Cached smallest-cycle result for one strongly connected component."""
+
+    length: int
+    start_key: ChannelKey
+    cycle: Tuple[int, ...]
+
+
+def tarjan_sccs(vertices: Iterable[int], successors) -> List[List[int]]:
+    """Iterative Tarjan strongly-connected components over int vertices.
+
+    ``successors(v)`` must yield the out-neighbours of ``v``.  Components are
+    returned as lists of vertex ids; membership (all that matters here) is
+    independent of traversal order.
+    """
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack = set()
+    stack: List[int] = []
+    sccs: List[List[int]] = []
+    counter = 0
+    for root in vertices:
+        if root in index_of:
+            continue
+        index_of[root] = lowlink[root] = counter
+        counter += 1
+        stack.append(root)
+        on_stack.add(root)
+        work = [(root, iter(successors(root)))]
+        while work:
+            node, children = work[-1]
+            pushed = False
+            for child in children:
+                if child not in index_of:
+                    index_of[child] = lowlink[child] = counter
+                    counter += 1
+                    stack.append(child)
+                    on_stack.add(child)
+                    work.append((child, iter(successors(child))))
+                    pushed = True
+                    break
+                if child in on_stack and index_of[child] < lowlink[node]:
+                    lowlink[node] = index_of[child]
+            if pushed:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                if lowlink[node] < lowlink[parent]:
+                    lowlink[parent] = lowlink[node]
+            if lowlink[node] == index_of[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+class IncrementalCycleSearch:
+    """Smallest-cycle oracle over a :class:`CDGIndex` with per-SCC caching.
+
+    One instance lives for one removal run; call :meth:`find_smallest` once
+    per iteration, after applying the iteration's route deltas to the index.
+    Results are identical to
+    :func:`repro.core.cycles.find_smallest_cycle` on a freshly rebuilt CDG.
+    """
+
+    def __init__(self, index: CDGIndex):
+        self._index = index
+        self._cache: Dict[FrozenSet[int], SccCycleEntry] = {}
+
+    def find_smallest(self) -> Optional[List[Channel]]:
+        """The smallest CDG cycle (ties: smallest start channel), or None."""
+        index = self._index
+        dirty = index.consume_dirty()
+        sccs = tarjan_sccs(index.sorted_vertices(), index.successors)
+
+        new_cache: Dict[FrozenSet[int], SccCycleEntry] = {}
+        best: Optional[SccCycleEntry] = None
+        for component in sccs:
+            if len(component) < 2:
+                continue
+            key = frozenset(component)
+            entry = self._cache.get(key)
+            if entry is None or not dirty.isdisjoint(key):
+                entry = self._search_component(component)
+            new_cache[key] = entry
+            if best is None or (entry.length, entry.start_key) < (best.length, best.start_key):
+                best = entry
+        self._cache = new_cache
+        if best is None:
+            return None
+        return [index.channel_of(i) for i in best.cycle]
+
+    # ------------------------------------------------------------------
+    def _search_component(self, component: List[int]) -> SccCycleEntry:
+        """BFS from every component vertex (sorted order), inside the SCC."""
+        index = self._index
+        members = frozenset(component)
+        starts = sorted(component, key=index.key_of)
+        best_cycle: Optional[Tuple[int, ...]] = None
+        best_start: Optional[int] = None
+        for start in starts:
+            cycle = self._shortest_cycle_through(start, members)
+            if cycle is None:
+                continue
+            if best_cycle is None or len(cycle) < len(best_cycle):
+                best_cycle = cycle
+                best_start = start
+                if len(best_cycle) == 2:
+                    break
+        if best_cycle is None:  # pragma: no cover - SCCs of size >= 2 have cycles
+            raise AssertionError("non-trivial SCC without a cycle")
+        return SccCycleEntry(
+            length=len(best_cycle),
+            start_key=index.key_of(best_start),
+            cycle=best_cycle,
+        )
+
+    def _shortest_cycle_through(
+        self, start: int, members: FrozenSet[int]
+    ) -> Optional[Tuple[int, ...]]:
+        """Int-indexed mirror of ``cycles._shortest_cycle_through``.
+
+        Successors are visited in presorted channel order but restricted to
+        the start's SCC, which provably preserves BFS distances and parent
+        pointers (see the module docstring).
+        """
+        index = self._index
+        parent: Dict[int, Optional[int]] = {start: None}
+        queue = deque((start,))
+        while queue:
+            node = queue.popleft()
+            for succ in index.sorted_successors(node):
+                if succ == start:
+                    cycle = [node]
+                    current = node
+                    while parent[current] is not None:
+                        current = parent[current]
+                        cycle.append(current)
+                    cycle.reverse()
+                    return tuple(cycle)
+                if succ in members and succ not in parent:
+                    parent[succ] = node
+                    queue.append(succ)
+        return None
+
+
+def count_cycles_indexed(index: CDGIndex, limit: Optional[int] = 10000) -> int:
+    """Capped elementary-cycle count over the int-indexed CDG.
+
+    Same contract as :func:`repro.core.cycles.count_cycles` (the count is
+    independent of enumeration order), but Johnson's algorithm runs over
+    dense integer nodes instead of Channel dataclasses.
+    """
+    if limit is not None and limit <= 0:
+        return 0
+    graph = nx.DiGraph()
+    graph.add_nodes_from(index.sorted_vertices())
+    for node in index.sorted_vertices():
+        graph.add_edges_from((node, succ) for succ in index.successors(node))
+    count = 0
+    for _ in nx.simple_cycles(graph):
+        count += 1
+        if limit is not None and count >= limit:
+            break
+    return count

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.core.cdg import ChannelDependencyGraph, build_cdg
+from repro.errors import DesignError
 from repro.examples_data.paper_ring import paper_channel
 from repro.model.channels import Channel, Link
 
@@ -40,6 +41,27 @@ class TestConstruction:
     def test_flows_on_missing_edge_is_empty(self):
         cdg = ChannelDependencyGraph()
         assert cdg.flows_on_edge(ch("A", "B"), ch("B", "C")) == frozenset()
+
+    def test_self_loop_dependency_rejected(self):
+        cdg = ChannelDependencyGraph()
+        with pytest.raises(DesignError):
+            cdg.add_dependency(ch("A", "B"), ch("A", "B"), "f0")
+
+    def test_sorted_views_track_mutations(self):
+        """channels/edges are cached between calls but never stale."""
+        cdg = ChannelDependencyGraph()
+        cdg.add_route("f0", [ch("B", "C"), ch("C", "D")])
+        assert cdg.channels == sorted(cdg.channels)
+        first_edges = cdg.edges
+        # Mutating the returned lists must not corrupt the cache.
+        first_edges.append(("bogus", "entry"))
+        assert cdg.edges == [(ch("B", "C"), ch("C", "D"))]
+        cdg.add_route("f1", [ch("A", "B"), ch("B", "C")])
+        assert cdg.channels == [ch("A", "B"), ch("B", "C"), ch("C", "D")]
+        assert cdg.edges == [
+            (ch("A", "B"), ch("B", "C")),
+            (ch("B", "C"), ch("C", "D")),
+        ]
 
 
 class TestQueries:

@@ -98,6 +98,26 @@ class TestEnumeration:
     def test_largest_cycle_none_when_acyclic(self, simple_line_design):
         assert find_largest_cycle(build_cdg(simple_line_design)) is None
 
+    def test_largest_cycle_matches_sorted_enumeration(self, two_cycle_cdg):
+        """The single-pass max equals sort-then-max from the enumeration."""
+        cycles = find_all_cycles(two_cycle_cdg)
+        assert find_largest_cycle(two_cycle_cdg) == max(cycles, key=len)
+
+    def test_largest_cycle_tie_broken_by_names(self):
+        # Two disjoint 2-cycles: the one with the smaller channel names wins.
+        cdg = cdg_from_routes(
+            [
+                [ch("X", "Y"), ch("Y", "X"), ch("X", "Y")],
+                [ch("A", "B"), ch("B", "A"), ch("A", "B")],
+            ]
+        )
+        cycle = find_largest_cycle(cdg)
+        assert set(cycle) == {ch("A", "B"), ch("B", "A")}
+
+    def test_count_cycles_respects_limit(self, two_cycle_cdg):
+        assert count_cycles(two_cycle_cdg, limit=1) == 1
+        assert count_cycles(two_cycle_cdg, limit=0) == 0
+
     def test_has_cycle(self, ring_design_fixture, simple_line_design):
         assert has_cycle(build_cdg(ring_design_fixture))
         assert not has_cycle(build_cdg(simple_line_design))

@@ -1,0 +1,39 @@
+"""Shared hypothesis strategies for the perf test modules.
+
+Kept in a separate (uniquely named) helper module because the tests
+directory is not a package: pytest puts each test file's directory on
+``sys.path``, so both perf test modules import this as a top-level module.
+"""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.model.channels import Channel, Link
+from repro.model.routes import Route, RouteSet
+
+SWITCHES = [f"S{i}" for i in range(6)]
+
+
+@st.composite
+def random_route(draw) -> Route:
+    """A random contiguous walk of 1-6 channels over a 6-switch universe."""
+    length = draw(st.integers(min_value=1, max_value=6))
+    current = draw(st.sampled_from(SWITCHES))
+    channels = []
+    for _ in range(length):
+        nxt = draw(st.sampled_from([s for s in SWITCHES if s != current]))
+        vc = draw(st.integers(min_value=0, max_value=1))
+        channels.append(Channel(Link(current, nxt), vc))
+        current = nxt
+    return Route(channels)
+
+
+@st.composite
+def random_route_sets(draw) -> RouteSet:
+    """Random route sets of 1-8 flows."""
+    n_flows = draw(st.integers(min_value=1, max_value=8))
+    routes = RouteSet()
+    for i in range(n_flows):
+        routes.set_route(f"f{i}", draw(random_route()))
+    return routes

@@ -1,0 +1,59 @@
+"""Tests for the parallel sweep executor (repro.perf.executor)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.perf.executor import parallel_map, resolve_jobs
+
+
+def square(x):
+    """Module-level on purpose: process pools must be able to pickle it."""
+    return x * x
+
+
+def failing(x):
+    raise ValueError(f"boom on {x}")
+
+
+class TestResolveJobs:
+    def test_serial_values(self):
+        assert resolve_jobs(None) == 1
+        assert resolve_jobs(0) == 1
+        assert resolve_jobs(1) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(4) == 4
+
+    def test_negative_means_cpu_count(self):
+        assert resolve_jobs(-1) >= 1
+
+
+class TestParallelMap:
+    def test_serial_matches_comprehension(self):
+        items = list(range(10))
+        assert parallel_map(square, items) == [square(x) for x in items]
+
+    def test_parallel_results_in_input_order(self):
+        items = list(range(20))
+        assert parallel_map(square, items, jobs=4) == [square(x) for x in items]
+
+    def test_empty_items(self):
+        assert parallel_map(square, [], jobs=4) == []
+
+    def test_single_item_runs_inline(self):
+        assert parallel_map(square, [3], jobs=8) == [9]
+
+    def test_unpicklable_function_falls_back_to_serial(self):
+        offset = 10
+        with pytest.warns(RuntimeWarning, match="not picklable"):
+            results = parallel_map(lambda x: x + offset, [1, 2, 3], jobs=2)
+        assert results == [11, 12, 13]
+
+    def test_serial_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            parallel_map(failing, [1], jobs=1)
+
+    def test_parallel_propagates_exceptions(self):
+        with pytest.raises(ValueError):
+            parallel_map(failing, [1, 2, 3, 4], jobs=2)
