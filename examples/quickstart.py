@@ -5,6 +5,9 @@ Builds the 4-switch ring of Figure 1 with the four flows F1..F4, shows that
 its channel dependency graph contains the cycle of Figure 2, prints the
 forward cost table (Table 1), removes the deadlock with a single extra
 virtual channel, and compares against the resource-ordering baseline.
+Finally it runs one point of the paper's evaluation grid through the
+declarative experiment API (`repro.api`) — the facade behind
+``noc-deadlock run <plan.json>``.
 
 Run with::
 
@@ -19,6 +22,7 @@ from repro import (
     paper_ring_design,
     remove_deadlocks,
 )
+from repro.api import Runner, RunSpec
 
 
 def main() -> None:
@@ -67,6 +71,21 @@ def main() -> None:
     print(
         f"\nextra VCs -> deadlock removal: {result.added_vc_count}, "
         f"resource ordering: {ordering.extra_vcs}"
+    )
+
+    # ------------------------------------------------------------------
+    # 6. The same comparison, declaratively: one RunSpec of the paper's
+    #    evaluation grid executed through the experiment API.  Specs
+    #    serialize to JSON, batch into ExperimentPlans and cache their
+    #    artifacts — see `noc-deadlock run --help` and plans/.
+    # ------------------------------------------------------------------
+    spec = RunSpec(benchmark="D26_media", switch_count=8)
+    run = Runner().run_spec(spec)
+    print(
+        f"\ndeclarative run of {spec.benchmark} @ {spec.switch_count} switches: "
+        f"removal {run.removal_extra_vcs} VC(s) vs. ordering "
+        f"{run.ordering_extra_vcs} VC(s) "
+        f"({run.vc_reduction_percent:.1f}% fewer)"
     )
 
 

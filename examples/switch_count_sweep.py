@@ -1,9 +1,11 @@
 #!/usr/bin/env python3
 """Reproduce the shape of Figures 8 and 9: VC overhead vs. switch count.
 
-For a chosen benchmark the script synthesizes application-specific
-topologies over a range of switch counts and, for each, reports the number
-of extra virtual channels required by the paper's deadlock-removal
+For a chosen benchmark the script declares one :class:`repro.api.RunSpec`
+per switch count, bundles them into an :class:`repro.api.ExperimentPlan`
+and executes the plan through :class:`repro.api.Runner` — the same facade
+behind ``noc-deadlock run <plan.json>``.  For each point it reports the
+number of extra virtual channels required by the paper's deadlock-removal
 algorithm and by the resource-ordering baseline.  The take-away the paper
 plots: removal stays near zero while ordering grows with the route lengths.
 
@@ -12,13 +14,19 @@ Run with::
     python examples/switch_count_sweep.py                 # D26_media (Figure 8)
     python examples/switch_count_sweep.py D36_8           # Figure 9
     python examples/switch_count_sweep.py D36_8 10 14 18  # custom switch counts
+
+Pass a cache directory to make re-runs (near) instant::
+
+    NOC_SWEEP_CACHE=.noc-cache python examples/switch_count_sweep.py
 """
 
+import os
 import sys
 
-from repro import list_benchmarks, sweep_switch_counts
+from repro import list_benchmarks
 from repro.analysis.metrics import format_table
-from repro.analysis.sweeps import FIGURE8_SWITCH_COUNTS, FIGURE9_SWITCH_COUNTS
+from repro.api import ExperimentPlan, Runner
+from repro.api.reports import FIGURE8_SWITCH_COUNTS, FIGURE9_SWITCH_COUNTS
 
 
 def main() -> None:
@@ -33,18 +41,27 @@ def main() -> None:
     else:
         switch_counts = FIGURE9_SWITCH_COUNTS
 
+    # One declarative plan instead of a hand-wired loop; the plan could be
+    # dumped with plan.save(...) and replayed via `noc-deadlock run`.
+    plan = ExperimentPlan.from_grid(
+        f"{benchmark}-switch-sweep", benchmark, switch_counts
+    )
+    runner = Runner(cache_dir=os.environ.get("NOC_SWEEP_CACHE"))
+
     print(f"benchmark {benchmark}, switch counts {switch_counts}")
-    comparisons = sweep_switch_counts(benchmark, switch_counts)
+    outcome = runner.run(plan)
+    if outcome.cache_hits:
+        print(f"({outcome.cache_hits} point(s) served from the artifact cache)")
 
     rows = []
-    for comparison in comparisons:
+    for result in outcome.results:
         rows.append(
             [
-                comparison.switch_count,
-                comparison.removal_extra_vcs,
-                comparison.ordering_extra_vcs,
-                round(comparison.vc_reduction_percent, 1),
-                round(comparison.removal.runtime_seconds, 3),
+                result.switch_count,
+                result.removal_extra_vcs,
+                result.ordering_extra_vcs,
+                round(result.vc_reduction_percent, 1),
+                round(result.removal_runtime_s, 3),
             ]
         )
     print()
@@ -61,8 +78,8 @@ def main() -> None:
         )
     )
 
-    total_removal = sum(c.removal_extra_vcs for c in comparisons)
-    total_ordering = sum(c.ordering_extra_vcs for c in comparisons)
+    total_removal = sum(r.removal_extra_vcs for r in outcome.results)
+    total_ordering = sum(r.ordering_extra_vcs for r in outcome.results)
     print(
         f"\ntotals over the sweep: removal {total_removal} VCs vs. "
         f"ordering {total_ordering} VCs"

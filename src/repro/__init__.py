@@ -27,6 +27,20 @@ Quickstart::
 
 from repro.analysis.experiments import MethodComparison, compare_methods, sweep_switch_counts
 from repro.analysis.performance import LoadSweep, compare_performance, load_latency_sweep
+from repro.api import (
+    ArtifactCache,
+    ExperimentPlan,
+    PlanResult,
+    Registry,
+    RunResult,
+    RunSpec,
+    Runner,
+    ordering_strategies,
+    removal_engines,
+    run_plan,
+    run_report,
+    synthesis_backends,
+)
 from repro.benchmarks.registry import get_benchmark, list_benchmarks
 from repro.core.cdg import ChannelDependencyGraph, build_cdg
 from repro.core.cost import CostTable, build_cost_table, find_dependency_to_break
@@ -37,7 +51,10 @@ from repro.errors import (
     ConvergenceError,
     DeadlockDetected,
     DesignError,
+    PlanError,
+    RegistryError,
     ReproError,
+    SerializationError,
     ValidationError,
 )
 from repro.examples_data.paper_ring import paper_ring_design
@@ -115,6 +132,19 @@ __all__ = [
     "LoadSweep",
     "load_latency_sweep",
     "compare_performance",
+    # declarative experiment API
+    "RunSpec",
+    "ExperimentPlan",
+    "RunResult",
+    "PlanResult",
+    "Runner",
+    "ArtifactCache",
+    "Registry",
+    "run_plan",
+    "run_report",
+    "removal_engines",
+    "ordering_strategies",
+    "synthesis_backends",
     # exporters
     "topology_to_dot",
     "cdg_to_dot",
@@ -127,5 +157,8 @@ __all__ = [
     "ValidationError",
     "ConvergenceError",
     "DeadlockDetected",
+    "SerializationError",
+    "PlanError",
+    "RegistryError",
     "__version__",
 ]

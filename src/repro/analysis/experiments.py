@@ -15,11 +15,13 @@ which is exactly what Figures 8 and 9 plot.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import lru_cache
 from typing import Dict, List, Optional, Sequence, Union
 
 from repro.analysis.metrics import percent_reduction
+from repro.api.registry import synthesis_backends
 from repro.benchmarks.registry import get_benchmark
-from repro.core.removal import remove_deadlocks
+from repro.core.removal import ENGINE_INCREMENTAL, remove_deadlocks
 from repro.core.report import RemovalResult
 from repro.model.design import NocDesign
 from repro.model.traffic import CommunicationGraph
@@ -31,8 +33,12 @@ from repro.power.estimator import (
     estimate_power,
 )
 from repro.power.orion import TechnologyParameters
-from repro.routing.ordering import OrderingResult, apply_resource_ordering
-from repro.synthesis.builder import SynthesisConfig, synthesize_design
+from repro.routing.ordering import (
+    STRATEGY_HOP_INDEX,
+    OrderingResult,
+    apply_resource_ordering,
+)
+from repro.synthesis.builder import SynthesisConfig
 
 
 @dataclass
@@ -132,12 +138,25 @@ class MethodComparison:
         }
 
 
+@lru_cache(maxsize=None)
+def resolve_benchmark_traffic(name: str, seed: int = 0) -> CommunicationGraph:
+    """Benchmark traffic by registry name, memoised per process.
+
+    Sweep workers call this instead of unpickling a full
+    :class:`CommunicationGraph` per point: only the (name, seed) pair
+    crosses the process boundary and the graph is built once per worker.
+    Callers must treat the returned graph as read-only (the synthesis
+    pipeline copies it into each design).
+    """
+    return get_benchmark(name, seed=seed)
+
+
 def _resolve_traffic(
     benchmark: Union[str, CommunicationGraph], seed: int
 ) -> CommunicationGraph:
     if isinstance(benchmark, CommunicationGraph):
         return benchmark
-    return get_benchmark(benchmark, seed=seed)
+    return resolve_benchmark_traffic(benchmark, seed)
 
 
 def compare_methods(
@@ -147,19 +166,37 @@ def compare_methods(
     seed: int = 0,
     tech: Optional[TechnologyParameters] = None,
     synthesis_overrides: Optional[Dict] = None,
+    engine: str = ENGINE_INCREMENTAL,
+    ordering_strategy: str = STRATEGY_HOP_INDEX,
+    synthesis_backend: str = "custom",
+    unprotected: Optional[NocDesign] = None,
 ) -> MethodComparison:
-    """Run the full unprotected / removal / ordering comparison for one point."""
-    traffic = _resolve_traffic(benchmark, seed)
-    overrides = dict(synthesis_overrides or {})
-    config = SynthesisConfig(n_switches=switch_count, seed=seed, **overrides)
-    unprotected = synthesize_design(traffic, config)
+    """Run the full unprotected / removal / ordering comparison for one point.
 
-    removal = remove_deadlocks(unprotected)
-    ordering = apply_resource_ordering(unprotected)
+    ``engine``, ``ordering_strategy`` and ``synthesis_backend`` name entries
+    of the pluggable registries in :mod:`repro.api.registry`.  Passing a
+    pre-synthesized ``unprotected`` design (e.g. from the artifact cache)
+    skips the synthesis step entirely.
+    """
+    if unprotected is None:
+        # Only resolve the benchmark traffic when synthesis actually needs
+        # it; with a pre-built design (e.g. from the artifact cache) the
+        # design's own traffic copy carries everything downstream uses.
+        traffic = _resolve_traffic(benchmark, seed)
+        overrides = dict(synthesis_overrides or {})
+        config = SynthesisConfig(n_switches=switch_count, seed=seed, **overrides)
+        backend = synthesis_backends.get(synthesis_backend)
+        unprotected = backend(traffic, config)
+        benchmark_name = traffic.name
+    else:
+        benchmark_name = unprotected.traffic.name
+
+    removal = remove_deadlocks(unprotected, engine=engine)
+    ordering = apply_resource_ordering(unprotected, strategy=ordering_strategy)
 
     tech = tech or TechnologyParameters()
     return MethodComparison(
-        benchmark=traffic.name,
+        benchmark=benchmark_name,
         switch_count=switch_count,
         unprotected=unprotected,
         removal=removal,
@@ -177,10 +214,12 @@ def _compare_point(args) -> MethodComparison:
     """Process-pool worker: one ``compare_methods`` point, fully materialised.
 
     Must stay module-level so :func:`repro.perf.executor.parallel_map` can
-    pickle it into worker processes.
+    pickle it into worker processes.  ``benchmark`` arrives as the registry
+    *name* whenever possible — :func:`resolve_benchmark_traffic` then builds
+    the traffic graph once per worker instead of unpickling it per point.
     """
-    traffic, count, seed, overrides = args
-    return compare_methods(traffic, count, seed=seed, synthesis_overrides=overrides)
+    benchmark, count, seed, overrides = args
+    return compare_methods(benchmark, count, seed=seed, synthesis_overrides=overrides)
 
 
 def sweep_switch_counts(
@@ -196,7 +235,14 @@ def sweep_switch_counts(
     Each point is an independent synthesize/remove/order/estimate pipeline;
     ``jobs`` fans them out over a process pool (results stay in
     ``switch_counts`` order; ``None``/``0``/``1`` runs serially).
+
+    Legacy adapter: prefer a :class:`repro.api.spec.ExperimentPlan` over
+    :class:`repro.api.runner.Runner`, which adds artifact caching and
+    returns serializable :class:`~repro.api.result.RunResult` records.
     """
-    traffic = _resolve_traffic(benchmark, seed)
-    points = [(traffic, count, seed, synthesis_overrides) for count in switch_counts]
+    if isinstance(benchmark, str):
+        # Validate the name up front (and warm this process's memo); the
+        # workers re-resolve from the name so no traffic graph is pickled.
+        resolve_benchmark_traffic(benchmark, seed)
+    points = [(benchmark, count, seed, synthesis_overrides) for count in switch_counts]
     return parallel_map(_compare_point, points, jobs=jobs)

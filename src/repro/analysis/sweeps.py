@@ -1,53 +1,59 @@
-"""Figure-level sweeps: one function per table/figure of the paper.
+"""Figure-level sweeps: legacy adapters over the declarative experiment API.
 
-Each function returns plain dictionaries/lists so the benchmark harness can
-print them and EXPERIMENTS.md can quote them directly.  The switch-count
-grids match the x-axis ranges of the paper's figures.
+Historically this module hand-wired one function per table/figure of the
+paper.  Those functions survive as deprecation shims: each one now builds
+the matching report request and executes it through
+:class:`repro.api.runner.Runner` (see :mod:`repro.api.reports` for the
+formatters), returning exactly the same dictionaries as before.  New code
+should express experiments as :class:`repro.api.spec.ExperimentPlan`
+documents and run them with ``noc-deadlock run <plan.json>`` or
+:func:`repro.api.runner.run_plan`, which adds artifact caching and
+multi-benchmark plans for free.
+
+The switch-count grids match the x-axis ranges of the paper's figures.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from typing import Dict, List, Optional, Sequence
 
-from repro.analysis.experiments import compare_methods, sweep_switch_counts
-from repro.analysis.metrics import arithmetic_mean
+# Canonical figure grids now live with the report formatters; re-exported
+# here for backwards compatibility (benchmarks and examples import them).
+from repro.api.reports import (
+    FIGURE8_SWITCH_COUNTS,
+    FIGURE9_SWITCH_COUNTS,
+    FIGURE10_BENCHMARKS,
+    FIGURE10_SWITCH_COUNT,
+    run_report,
+)
 from repro.benchmarks.registry import get_benchmark
 from repro.core.removal import remove_deadlocks
-from repro.perf.executor import parallel_map
 from repro.synthesis.builder import SynthesisConfig, synthesize_design
 
-#: Switch counts of Figure 8 (D26_media, x-axis 5..25).
-FIGURE8_SWITCH_COUNTS: List[int] = [5, 8, 11, 14, 17, 20, 23, 25]
-
-#: Switch counts of Figure 9 (D36_8, x-axis 10..35).
-FIGURE9_SWITCH_COUNTS: List[int] = [10, 14, 18, 22, 26, 30, 35]
-
-#: Benchmarks of Figure 10, in the paper's plotting order.
-FIGURE10_BENCHMARKS: List[str] = [
-    "D26_media",
-    "D36_4",
-    "D36_6",
-    "D36_8",
-    "D35_bott",
-    "D38_tvopd",
+__all__ = [
+    "FIGURE8_SWITCH_COUNTS",
+    "FIGURE9_SWITCH_COUNTS",
+    "FIGURE10_BENCHMARKS",
+    "FIGURE10_SWITCH_COUNT",
+    "figure8_series",
+    "figure9_series",
+    "figure10_power_series",
+    "area_savings_table",
+    "overhead_vs_unprotected",
+    "runtime_scaling",
 ]
 
-#: Switch count used for Figure 10 and the area/overhead claims
-#: ("the values reported in the plot are for topologies with 14 switches").
-FIGURE10_SWITCH_COUNT = 14
 
-
-def _benchmark_point(args):
-    """Process-pool worker for the per-benchmark sweeps (module-level for pickling)."""
-    name, switch_count, seed = args
-    return compare_methods(name, switch_count, seed=seed)
-
-
-def _compare_benchmarks(names, switch_count, seed, jobs):
-    """One :func:`compare_methods` per benchmark, optionally in parallel."""
-    points = [(name, switch_count, seed) for name in names]
-    return parallel_map(_benchmark_point, points, jobs=jobs)
+def _deprecated(name: str, report: str) -> None:
+    warnings.warn(
+        f"repro.analysis.sweeps.{name} is a legacy shim; build an "
+        f"ExperimentPlan with the {report!r} report and run it through "
+        "repro.api.runner.Runner (or `noc-deadlock run <plan.json>`)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def figure8_series(
@@ -57,14 +63,11 @@ def figure8_series(
     jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """Figure 8: extra VCs vs. switch count for D26_media."""
-    counts = list(switch_counts or FIGURE8_SWITCH_COUNTS)
-    comparisons = sweep_switch_counts("D26_media", counts, seed=seed, jobs=jobs)
-    return {
-        "benchmark": "D26_media",
-        "switch_counts": counts,
-        "resource_ordering_vcs": [c.ordering_extra_vcs for c in comparisons],
-        "deadlock_removal_vcs": [c.removal_extra_vcs for c in comparisons],
-    }
+    _deprecated("figure8_series", "figure8")
+    params: Dict = {"seed": seed}
+    if switch_counts is not None:
+        params["switch_counts"] = list(switch_counts)
+    return run_report("figure8", params, jobs=jobs)
 
 
 def figure9_series(
@@ -74,14 +77,11 @@ def figure9_series(
     jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """Figure 9: extra VCs vs. switch count for D36_8."""
-    counts = list(switch_counts or FIGURE9_SWITCH_COUNTS)
-    comparisons = sweep_switch_counts("D36_8", counts, seed=seed, jobs=jobs)
-    return {
-        "benchmark": "D36_8",
-        "switch_counts": counts,
-        "resource_ordering_vcs": [c.ordering_extra_vcs for c in comparisons],
-        "deadlock_removal_vcs": [c.removal_extra_vcs for c in comparisons],
-    }
+    _deprecated("figure9_series", "figure9")
+    params: Dict = {"seed": seed}
+    if switch_counts is not None:
+        params["switch_counts"] = list(switch_counts)
+    return run_report("figure9", params, jobs=jobs)
 
 
 def figure10_power_series(
@@ -92,22 +92,11 @@ def figure10_power_series(
     jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """Figure 10: power of resource ordering normalised to deadlock removal."""
-    names = list(benchmarks or FIGURE10_BENCHMARKS)
-    removal_norm: List[float] = []
-    ordering_norm: List[float] = []
-    savings: List[float] = []
-    for comparison in _compare_benchmarks(names, switch_count, seed, jobs):
-        removal_norm.append(1.0)
-        ordering_norm.append(comparison.normalised_ordering_power)
-        savings.append(comparison.power_saving_percent)
-    return {
-        "benchmarks": names,
-        "switch_count": switch_count,
-        "deadlock_removal_normalised_power": removal_norm,
-        "resource_ordering_normalised_power": ordering_norm,
-        "power_saving_percent": savings,
-        "average_power_saving_percent": arithmetic_mean(savings),
-    }
+    _deprecated("figure10_power_series", "figure10")
+    params: Dict = {"seed": seed, "switch_count": switch_count}
+    if benchmarks is not None:
+        params["benchmarks"] = list(benchmarks)
+    return run_report("figure10", params, jobs=jobs)
 
 
 def area_savings_table(
@@ -118,26 +107,11 @@ def area_savings_table(
     jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """The §5 area claim: VC and area reduction of removal vs. ordering."""
-    names = list(benchmarks or FIGURE10_BENCHMARKS)
-    vc_reduction: List[float] = []
-    area_saving: List[float] = []
-    removal_vcs: List[int] = []
-    ordering_vcs: List[int] = []
-    for comparison in _compare_benchmarks(names, switch_count, seed, jobs):
-        vc_reduction.append(comparison.vc_reduction_percent)
-        area_saving.append(comparison.area_saving_percent)
-        removal_vcs.append(comparison.removal_extra_vcs)
-        ordering_vcs.append(comparison.ordering_extra_vcs)
-    return {
-        "benchmarks": names,
-        "switch_count": switch_count,
-        "removal_extra_vcs": removal_vcs,
-        "ordering_extra_vcs": ordering_vcs,
-        "vc_reduction_percent": vc_reduction,
-        "area_saving_percent": area_saving,
-        "average_vc_reduction_percent": arithmetic_mean(vc_reduction),
-        "average_area_saving_percent": arithmetic_mean(area_saving),
-    }
+    _deprecated("area_savings_table", "area")
+    params: Dict = {"seed": seed, "switch_count": switch_count}
+    if benchmarks is not None:
+        params["benchmarks"] = list(benchmarks)
+    return run_report("area", params, jobs=jobs)
 
 
 def overhead_vs_unprotected(
@@ -148,20 +122,11 @@ def overhead_vs_unprotected(
     jobs: Optional[int] = None,
 ) -> Dict[str, List]:
     """The §5 overhead claim: removal vs. designs with no deadlock handling."""
-    names = list(benchmarks or FIGURE10_BENCHMARKS)
-    power_overhead: List[float] = []
-    area_overhead: List[float] = []
-    for comparison in _compare_benchmarks(names, switch_count, seed, jobs):
-        power_overhead.append(comparison.removal_power_overhead_percent)
-        area_overhead.append(comparison.removal_area_overhead_percent)
-    return {
-        "benchmarks": names,
-        "switch_count": switch_count,
-        "power_overhead_percent": power_overhead,
-        "area_overhead_percent": area_overhead,
-        "average_power_overhead_percent": arithmetic_mean(power_overhead),
-        "average_area_overhead_percent": arithmetic_mean(area_overhead),
-    }
+    _deprecated("overhead_vs_unprotected", "overhead")
+    params: Dict = {"seed": seed, "switch_count": switch_count}
+    if benchmarks is not None:
+        params["benchmarks"] = list(benchmarks)
+    return run_report("overhead", params, jobs=jobs)
 
 
 def runtime_scaling(
@@ -170,7 +135,12 @@ def runtime_scaling(
     switch_count: int = FIGURE10_SWITCH_COUNT,
     seed: int = 0,
 ) -> Dict[str, List]:
-    """The §5 runtime claim: the method runs in seconds/minutes and scales."""
+    """The §5 runtime claim: the method runs in seconds/minutes and scales.
+
+    Kept on the direct path (not the cached runner): the whole point is to
+    measure fresh synthesis and removal wall-clock, which a cache hit would
+    falsify.
+    """
     names = list(benchmarks or FIGURE10_BENCHMARKS)
     synthesis_seconds: List[float] = []
     removal_seconds: List[float] = []

@@ -1,0 +1,101 @@
+"""Content-addressed on-disk artifact cache for experiment runs.
+
+Artifacts are JSON documents stored under ``<root>/<kind>/<key[:2]>/<key>.json``
+where ``key`` is a SHA-256 content address derived from the producing
+:class:`~repro.api.spec.RunSpec` (see :meth:`RunSpec.fingerprint` and
+:meth:`RunSpec.synthesis_fingerprint`).  Two kinds are in use today:
+
+* ``"result"`` — the full :class:`~repro.api.result.RunResult` record of a
+  spec, so repeating a sweep never re-runs synthesis, removal, ordering or
+  the power/area models;
+* ``"design"`` — the synthesized (unprotected) design document, shared by
+  every spec that differs only in removal engine or ordering strategy.
+
+Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers
+can share one cache directory; a corrupt or truncated entry is treated as a
+miss and overwritten, never trusted.  Documents are serialized *without*
+key sorting: design documents encode route insertion order in JSON object
+order, and re-sorting them would perturb downstream iteration order.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+_KEY_PREFIX_LEN = 2
+
+
+class ArtifactCache:
+    """A content-addressed JSON store with hit/miss accounting."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root).expanduser()
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    def _path(self, kind: str, key: str) -> Path:
+        return self.root / kind / key[:_KEY_PREFIX_LEN] / f"{key}.json"
+
+    def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
+        """The stored document, or ``None`` on miss (or corrupt entry)."""
+        path = self._path(kind, key)
+        try:
+            text = path.read_text()
+            document = json.loads(text)
+        except (OSError, json.JSONDecodeError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return document
+
+    def put(self, kind: str, key: str, document: Dict[str, Any]) -> Path:
+        """Atomically store ``document`` under ``(kind, key)``."""
+        path = self._path(kind, key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        payload = json.dumps(document, indent=None, separators=(",", ":"))
+        fd, tmp_name = tempfile.mkstemp(
+            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+        )
+        try:
+            with os.fdopen(fd, "w") as handle:
+                handle.write(payload)
+            os.replace(tmp_name, path)
+        except BaseException:
+            try:
+                os.unlink(tmp_name)
+            except OSError:
+                pass
+            raise
+        return path
+
+    def has(self, kind: str, key: str) -> bool:
+        """True when an entry exists (does not touch the hit/miss counters)."""
+        return self._path(kind, key).is_file()
+
+    # ------------------------------------------------------------------
+    def entry_count(self, kind: Optional[str] = None) -> int:
+        """Number of stored artifacts (optionally of one kind)."""
+        base = self.root / kind if kind else self.root
+        if not base.is_dir():
+            return 0
+        return sum(1 for _ in base.rglob("*.json"))
+
+    def clear(self) -> int:
+        """Delete every artifact; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for path in self.root.rglob("*.json"):
+                try:
+                    path.unlink()
+                    removed += 1
+                except OSError:
+                    pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"ArtifactCache({str(self.root)!r}, hits={self.hits}, misses={self.misses})"

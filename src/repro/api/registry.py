@@ -1,0 +1,133 @@
+"""Pluggable strategy registries for the experiment facade.
+
+The evaluation pipeline is assembled from three interchangeable pieces —
+the removal engine, the resource-ordering class-assignment strategy and the
+topology-synthesis backend.  Each piece is looked up by name in a
+:class:`Registry` instead of being dispatched over hardcoded string
+comparisons, so new implementations plug in with a decorator::
+
+    from repro.api.registry import removal_engines
+
+    @removal_engines.register("my_engine")
+    def _my_engine(remover, work, rng):
+        ...
+
+and immediately become valid values for :class:`~repro.api.spec.RunSpec`
+fields, CLI flags and the library keyword arguments.
+
+Each registry names a *provider* module — the module that registers the
+built-in implementations.  The provider is imported lazily on first lookup,
+so ``from repro.api.registry import removal_engines`` never drags in the
+whole algorithm stack, while ``removal_engines.get("incremental")`` always
+finds the built-ins no matter which module was imported first.
+"""
+
+from __future__ import annotations
+
+import importlib
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import RegistryError
+
+
+class Registry:
+    """A name -> implementation mapping with decorator registration.
+
+    Parameters
+    ----------
+    kind:
+        Human-readable description of what is registered (used in error
+        messages, e.g. ``"removal engine"``).
+    provider:
+        Dotted path of the module that registers the built-in entries.  It
+        is imported (once) the first time the registry is queried, so the
+        built-ins are always visible regardless of import order.
+    """
+
+    def __init__(self, kind: str, *, provider: Optional[str] = None):
+        self.kind = kind
+        self._provider = provider
+        self._provider_loaded = provider is None
+        self._entries: Dict[str, Any] = {}
+
+    # ------------------------------------------------------------------
+    def register(self, name: str, obj: Any = None):
+        """Register ``obj`` under ``name``; usable as a decorator.
+
+        Re-registering an existing name raises :class:`RegistryError` —
+        replacing an implementation must be an explicit
+        :meth:`unregister` + :meth:`register` pair, never an accident.
+        """
+        if obj is None:
+
+            def decorator(fn):
+                self._add(name, fn)
+                return fn
+
+            return decorator
+        self._add(name, obj)
+        return obj
+
+    def unregister(self, name: str) -> None:
+        """Remove a registered entry (mainly for tests and plugins)."""
+        self._load_provider()
+        if name not in self._entries:
+            raise RegistryError(f"cannot unregister unknown {self.kind} {name!r}")
+        del self._entries[name]
+
+    def _add(self, name: str, obj: Any) -> None:
+        if not isinstance(name, str) or not name:
+            raise RegistryError(
+                f"{self.kind} names must be non-empty strings, got {name!r}"
+            )
+        if name in self._entries:
+            raise RegistryError(f"{self.kind} {name!r} is already registered")
+        self._entries[name] = obj
+
+    # ------------------------------------------------------------------
+    def _load_provider(self) -> None:
+        if not self._provider_loaded:
+            self._provider_loaded = True
+            importlib.import_module(self._provider)
+
+    def get(self, name: str) -> Any:
+        """Look up an implementation; unknown names raise :class:`RegistryError`."""
+        self._load_provider()
+        try:
+            return self._entries[name]
+        except KeyError:
+            raise RegistryError(
+                f"unknown {self.kind} {name!r}; available: {', '.join(self.names())}"
+            ) from None
+
+    def names(self) -> List[str]:
+        """Sorted names of all registered implementations."""
+        self._load_provider()
+        return sorted(self._entries)
+
+    def __contains__(self, name: object) -> bool:
+        self._load_provider()
+        return name in self._entries
+
+    def __len__(self) -> int:
+        self._load_provider()
+        return len(self._entries)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Registry({self.kind!r}, names={self.names()!r})"
+
+
+#: Removal-engine loop implementations (built-ins live in
+#: :mod:`repro.core.removal`: ``"incremental"`` and ``"rebuild"``).
+removal_engines = Registry("removal engine", provider="repro.core.removal")
+
+#: Resource-class assignment strategies for the ordering baseline
+#: (built-ins live in :mod:`repro.routing.ordering`: ``"hop_index"`` and
+#: ``"layered"``).
+ordering_strategies = Registry(
+    "resource-ordering strategy", provider="repro.routing.ordering"
+)
+
+#: Topology-synthesis backends (built-ins live in
+#: :mod:`repro.synthesis.builder`: ``"custom"`` and ``"mesh"``).
+synthesis_backends = Registry("synthesis backend", provider="repro.synthesis.builder")

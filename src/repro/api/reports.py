@@ -1,0 +1,203 @@
+"""Figure/table formatters driven by :class:`RunResult` records.
+
+Each report type knows two things: which :class:`~repro.api.spec.RunSpec`
+points it needs (:meth:`ReportType.specs`) and how to fold the resulting
+records into the exact dictionary the paper's figure helpers historically
+returned (:meth:`ReportType.render`).  The legacy functions in
+:mod:`repro.analysis.sweeps` are thin adapters over :func:`run_report`, so
+``noc-deadlock figures`` and ``noc-deadlock run <plan.json>`` are
+byte-identical by construction.
+
+Report types are registered in :data:`report_types`, so downstream code can
+add custom figures the same way it adds removal engines::
+
+    @report_types.register("my_table")
+    class MyTable(ReportType):
+        ...
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.analysis.metrics import arithmetic_mean
+from repro.api.registry import Registry
+from repro.api.result import RunResult
+from repro.api.spec import ExperimentPlan, ReportRequest, RunSpec
+
+#: Switch counts of Figure 8 (D26_media, x-axis 5..25).
+FIGURE8_SWITCH_COUNTS: List[int] = [5, 8, 11, 14, 17, 20, 23, 25]
+
+#: Switch counts of Figure 9 (D36_8, x-axis 10..35).
+FIGURE9_SWITCH_COUNTS: List[int] = [10, 14, 18, 22, 26, 30, 35]
+
+#: Benchmarks of Figure 10, in the paper's plotting order.
+FIGURE10_BENCHMARKS: List[str] = [
+    "D26_media",
+    "D36_4",
+    "D36_6",
+    "D36_8",
+    "D35_bott",
+    "D38_tvopd",
+]
+
+#: Switch count used for Figure 10 and the area/overhead claims
+#: ("the values reported in the plot are for topologies with 14 switches").
+FIGURE10_SWITCH_COUNT = 14
+
+#: Registry of report formatters (this module registers the built-ins at
+#: import time, so no lazy provider is needed).
+report_types = Registry("report type")
+
+
+def _spec_params(params: Mapping[str, Any]) -> Dict[str, Any]:
+    """RunSpec fields a report request may override (engine etc.)."""
+    return {
+        key: params[key]
+        for key in ("engine", "ordering_strategy", "synthesis_backend", "synthesis")
+        if key in params
+    }
+
+
+class ReportType:
+    """Base class for report formatters (subclass and register instances)."""
+
+    def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
+        """The evaluation points this report needs."""
+        raise NotImplementedError
+
+    def render(
+        self, params: Mapping[str, Any], lookup: Mapping[str, RunResult]
+    ) -> Dict[str, Any]:
+        """Fold the records (keyed by spec fingerprint) into the figure dict."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    def _results(
+        self, params: Mapping[str, Any], lookup: Mapping[str, RunResult]
+    ) -> List[RunResult]:
+        return [lookup[spec.fingerprint()] for spec in self.specs(params)]
+
+
+class _SwitchCountSweepReport(ReportType):
+    """Figures 8 and 9: extra VCs vs. switch count for one benchmark."""
+
+    def __init__(self, benchmark: str, default_counts: Sequence[int]):
+        self.benchmark = benchmark
+        self.default_counts = list(default_counts)
+
+    def _counts(self, params: Mapping[str, Any]) -> List[int]:
+        return list(params.get("switch_counts", self.default_counts))
+
+    def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
+        seed = params.get("seed", 0)
+        extra = _spec_params(params)
+        return [
+            RunSpec(benchmark=self.benchmark, switch_count=count, seed=seed, **extra)
+            for count in self._counts(params)
+        ]
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        results = self._results(params, lookup)
+        return {
+            "benchmark": self.benchmark,
+            "switch_counts": self._counts(params),
+            "resource_ordering_vcs": [r.ordering_extra_vcs for r in results],
+            "deadlock_removal_vcs": [r.removal_extra_vcs for r in results],
+        }
+
+
+class _BenchmarkSetReport(ReportType):
+    """Base for the per-benchmark reports (Figure 10, area, overhead)."""
+
+    def _names(self, params: Mapping[str, Any]) -> List[str]:
+        return list(params.get("benchmarks", FIGURE10_BENCHMARKS))
+
+    def _switch_count(self, params: Mapping[str, Any]) -> int:
+        return params.get("switch_count", FIGURE10_SWITCH_COUNT)
+
+    def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
+        seed = params.get("seed", 0)
+        switch_count = self._switch_count(params)
+        extra = _spec_params(params)
+        return [
+            RunSpec(benchmark=name, switch_count=switch_count, seed=seed, **extra)
+            for name in self._names(params)
+        ]
+
+
+class _Figure10PowerReport(_BenchmarkSetReport):
+    """Figure 10: power of resource ordering normalised to deadlock removal."""
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        results = self._results(params, lookup)
+        savings = [r.power_saving_percent for r in results]
+        return {
+            "benchmarks": self._names(params),
+            "switch_count": self._switch_count(params),
+            "deadlock_removal_normalised_power": [1.0 for _ in results],
+            "resource_ordering_normalised_power": [
+                r.normalised_ordering_power for r in results
+            ],
+            "power_saving_percent": savings,
+            "average_power_saving_percent": arithmetic_mean(savings),
+        }
+
+
+class _AreaSavingsReport(_BenchmarkSetReport):
+    """The §5 area claim: VC and area reduction of removal vs. ordering."""
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        results = self._results(params, lookup)
+        vc_reduction = [r.vc_reduction_percent for r in results]
+        area_saving = [r.area_saving_percent for r in results]
+        return {
+            "benchmarks": self._names(params),
+            "switch_count": self._switch_count(params),
+            "removal_extra_vcs": [r.removal_extra_vcs for r in results],
+            "ordering_extra_vcs": [r.ordering_extra_vcs for r in results],
+            "vc_reduction_percent": vc_reduction,
+            "area_saving_percent": area_saving,
+            "average_vc_reduction_percent": arithmetic_mean(vc_reduction),
+            "average_area_saving_percent": arithmetic_mean(area_saving),
+        }
+
+
+class _OverheadReport(_BenchmarkSetReport):
+    """The §5 overhead claim: removal vs. designs with no deadlock handling."""
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        results = self._results(params, lookup)
+        power_overhead = [r.removal_power_overhead_percent for r in results]
+        area_overhead = [r.removal_area_overhead_percent for r in results]
+        return {
+            "benchmarks": self._names(params),
+            "switch_count": self._switch_count(params),
+            "power_overhead_percent": power_overhead,
+            "area_overhead_percent": area_overhead,
+            "average_power_overhead_percent": arithmetic_mean(power_overhead),
+            "average_area_overhead_percent": arithmetic_mean(area_overhead),
+        }
+
+
+report_types.register("figure8", _SwitchCountSweepReport("D26_media", FIGURE8_SWITCH_COUNTS))
+report_types.register("figure9", _SwitchCountSweepReport("D36_8", FIGURE9_SWITCH_COUNTS))
+report_types.register("figure10", _Figure10PowerReport())
+report_types.register("area", _AreaSavingsReport())
+report_types.register("overhead", _OverheadReport())
+
+
+def run_report(
+    name: str,
+    params: Optional[Mapping[str, Any]] = None,
+    *,
+    jobs: Optional[int] = None,
+    cache_dir=None,
+) -> Dict[str, Any]:
+    """Execute one report end-to-end and return its rendered dictionary."""
+    from repro.api.runner import Runner  # local: avoid import cycle
+
+    request = ReportRequest(type=name, params=dict(params or {}))
+    plan = ExperimentPlan(name=f"report-{name}", reports=[request])
+    outcome = Runner(cache_dir=cache_dir, jobs=jobs).run(plan)
+    return outcome.render_reports()[0][1]

@@ -1,0 +1,181 @@
+"""Uniform run records: one JSON schema shared by tables, figures and the CLI.
+
+A :class:`RunResult` is the scalar outcome of executing one
+:class:`~repro.api.spec.RunSpec`: the VC counts, power and area of the
+unprotected / deadlock-removal / resource-ordering variants, plus removal
+bookkeeping (iterations, runtime, initial cycle count).  Every derived
+percentage of the paper's claims is a property computed from those scalars
+with exactly the formulas of
+:class:`repro.analysis.experiments.MethodComparison`, so figures rendered
+from cached results are byte-identical to figures rendered from a fresh
+run (JSON round-trips Python floats losslessly).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping
+
+from repro.analysis.metrics import percent_reduction
+from repro.api.spec import RunSpec
+from repro.errors import PlanError
+
+#: Version tag of the result schema; cached documents with a different
+#: version are treated as cache misses by the runner.
+RESULT_FORMAT_VERSION = 1
+
+
+@dataclass
+class RunResult:
+    """Scalar outcome of one evaluation point (one :class:`RunSpec`)."""
+
+    spec: RunSpec
+    removal_extra_vcs: int
+    ordering_extra_vcs: int
+    removal_iterations: int
+    initial_cycle_count: int
+    removal_runtime_s: float
+    unprotected_power_mw: float
+    removal_power_mw: float
+    ordering_power_mw: float
+    unprotected_area_mm2: float
+    removal_area_mm2: float
+    ordering_area_mm2: float
+    #: True when this record was served from the artifact cache (runtime
+    #: state, not part of the serialized schema).
+    cache_hit: bool = field(default=False, compare=False)
+
+    # ------------------------------------------------------------------
+    # derived claims — formulas identical to MethodComparison
+    # ------------------------------------------------------------------
+    @property
+    def benchmark(self) -> str:
+        return self.spec.benchmark
+
+    @property
+    def switch_count(self) -> int:
+        return self.spec.switch_count
+
+    @property
+    def vc_reduction_percent(self) -> float:
+        """How many fewer VCs removal needs than ordering (the 88% claim)."""
+        return percent_reduction(self.ordering_extra_vcs, self.removal_extra_vcs)
+
+    @property
+    def power_saving_percent(self) -> float:
+        """Power saved by removal relative to ordering (the 8.6% claim)."""
+        return percent_reduction(self.ordering_power_mw, self.removal_power_mw)
+
+    @property
+    def area_saving_percent(self) -> float:
+        """Router+link area saved by removal relative to ordering (66% claim)."""
+        return percent_reduction(self.ordering_area_mm2, self.removal_area_mm2)
+
+    @property
+    def removal_power_overhead_percent(self) -> float:
+        """Power overhead of removal vs. the unprotected design (<5% claim)."""
+        if self.unprotected_power_mw == 0:
+            return 0.0
+        return (self.removal_power_mw / self.unprotected_power_mw - 1.0) * 100.0
+
+    @property
+    def removal_area_overhead_percent(self) -> float:
+        """Area overhead of removal vs. the unprotected design (<5% claim)."""
+        if self.unprotected_area_mm2 == 0:
+            return 0.0
+        return (self.removal_area_mm2 / self.unprotected_area_mm2 - 1.0) * 100.0
+
+    @property
+    def normalised_ordering_power(self) -> float:
+        """Ordering power normalised to removal power (Figure 10's y-axis)."""
+        if self.removal_power_mw == 0:
+            return 0.0
+        return self.ordering_power_mw / self.removal_power_mw
+
+    # ------------------------------------------------------------------
+    def as_row(self) -> Dict[str, Any]:
+        """Flat dictionary for tables and JSON dumps (legacy row schema)."""
+        return {
+            "benchmark": self.benchmark,
+            "switch_count": self.switch_count,
+            "removal_extra_vcs": self.removal_extra_vcs,
+            "ordering_extra_vcs": self.ordering_extra_vcs,
+            "vc_reduction_percent": round(self.vc_reduction_percent, 2),
+            "removal_power_mw": round(self.removal_power_mw, 3),
+            "ordering_power_mw": round(self.ordering_power_mw, 3),
+            "unprotected_power_mw": round(self.unprotected_power_mw, 3),
+            "power_saving_percent": round(self.power_saving_percent, 2),
+            "removal_area_mm2": round(self.removal_area_mm2, 4),
+            "ordering_area_mm2": round(self.ordering_area_mm2, 4),
+            "unprotected_area_mm2": round(self.unprotected_area_mm2, 4),
+            "area_saving_percent": round(self.area_saving_percent, 2),
+            "removal_power_overhead_percent": round(self.removal_power_overhead_percent, 2),
+            "removal_area_overhead_percent": round(self.removal_area_overhead_percent, 2),
+            "removal_runtime_s": round(self.removal_runtime_s, 4),
+        }
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Serializable record (the artifact-cache ``"result"`` document)."""
+        return {
+            "format_version": RESULT_FORMAT_VERSION,
+            "spec": self.spec.to_dict(),
+            "removal_extra_vcs": self.removal_extra_vcs,
+            "ordering_extra_vcs": self.ordering_extra_vcs,
+            "removal_iterations": self.removal_iterations,
+            "initial_cycle_count": self.initial_cycle_count,
+            "removal_runtime_s": self.removal_runtime_s,
+            "unprotected_power_mw": self.unprotected_power_mw,
+            "removal_power_mw": self.removal_power_mw,
+            "ordering_power_mw": self.ordering_power_mw,
+            "unprotected_area_mm2": self.unprotected_area_mm2,
+            "removal_area_mm2": self.removal_area_mm2,
+            "ordering_area_mm2": self.ordering_area_mm2,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
+        """Rebuild a record; malformed documents raise :class:`PlanError`."""
+        if not isinstance(data, Mapping):
+            raise PlanError(f"run result must be a mapping, got {type(data).__name__}")
+        version = data.get("format_version", RESULT_FORMAT_VERSION)
+        if version != RESULT_FORMAT_VERSION:
+            raise PlanError(
+                f"unsupported result format version {version} "
+                f"(expected {RESULT_FORMAT_VERSION})"
+            )
+        try:
+            return cls(
+                spec=RunSpec.from_dict(data["spec"]),
+                removal_extra_vcs=data["removal_extra_vcs"],
+                ordering_extra_vcs=data["ordering_extra_vcs"],
+                removal_iterations=data["removal_iterations"],
+                initial_cycle_count=data["initial_cycle_count"],
+                removal_runtime_s=data["removal_runtime_s"],
+                unprotected_power_mw=data["unprotected_power_mw"],
+                removal_power_mw=data["removal_power_mw"],
+                ordering_power_mw=data["ordering_power_mw"],
+                unprotected_area_mm2=data["unprotected_area_mm2"],
+                removal_area_mm2=data["removal_area_mm2"],
+                ordering_area_mm2=data["ordering_area_mm2"],
+            )
+        except KeyError as exc:
+            raise PlanError(f"run result document is missing field {exc}") from exc
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_comparison(cls, spec: RunSpec, comparison) -> "RunResult":
+        """Reduce a :class:`~repro.analysis.experiments.MethodComparison`."""
+        return cls(
+            spec=spec,
+            removal_extra_vcs=comparison.removal_extra_vcs,
+            ordering_extra_vcs=comparison.ordering_extra_vcs,
+            removal_iterations=comparison.removal.iterations,
+            initial_cycle_count=comparison.removal.initial_cycle_count,
+            removal_runtime_s=comparison.removal.runtime_seconds,
+            unprotected_power_mw=comparison.unprotected_power.total_power_mw,
+            removal_power_mw=comparison.removal_power.total_power_mw,
+            ordering_power_mw=comparison.ordering_power.total_power_mw,
+            unprotected_area_mm2=comparison.unprotected_area.total_area_mm2,
+            removal_area_mm2=comparison.removal_area.total_area_mm2,
+            ordering_area_mm2=comparison.ordering_area.total_area_mm2,
+        )

@@ -1,0 +1,215 @@
+"""Plan execution: the :class:`Runner` behind the declarative experiment API.
+
+The runner turns :class:`~repro.api.spec.RunSpec` points into
+:class:`~repro.api.result.RunResult` records:
+
+* **cache first** — each spec's fingerprint is looked up in the
+  content-addressed :class:`~repro.api.cache.ArtifactCache`; a hit skips
+  the whole synthesize/remove/order/estimate pipeline.  On a result miss
+  the synthesized design itself may still be served from the cache (specs
+  that differ only in engine or strategy share it).
+* **cheap fan-out** — plans execute over
+  :func:`repro.perf.executor.parallel_map`; only the small spec dictionary
+  crosses the process boundary, and every worker resolves the benchmark
+  traffic once per ``(name, seed)`` through a per-process memo instead of
+  unpickling a full :class:`CommunicationGraph` per point.
+* **uniform records** — results use the one JSON schema of
+  :class:`RunResult`, shared by tables, figure formatters and the CLI.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple, Union
+
+from repro.analysis.experiments import compare_methods
+from repro.api.cache import ArtifactCache
+from repro.api.result import RunResult
+from repro.api.spec import ExperimentPlan, RunSpec
+from repro.errors import ReproError
+from repro.model.serialization import design_from_dict, design_to_dict
+from repro.perf.executor import parallel_map, resolve_jobs
+
+RESULT_KIND = "result"
+DESIGN_KIND = "design"
+
+#: Environment variable overriding the default cache location.
+CACHE_DIR_ENV = "NOC_DEADLOCK_CACHE_DIR"
+
+
+def default_cache_dir() -> Path:
+    """``$NOC_DEADLOCK_CACHE_DIR`` or ``~/.cache/noc-deadlock``."""
+    override = os.environ.get(CACHE_DIR_ENV)
+    if override:
+        return Path(override).expanduser()
+    return Path.home() / ".cache" / "noc-deadlock"
+
+
+def execute_spec(spec: RunSpec, cache: Optional[ArtifactCache] = None) -> RunResult:
+    """Execute one spec, consulting and feeding ``cache`` when given.
+
+    Cached documents are never trusted: any entry that fails to
+    deserialize (corrupt, stale schema version, missing fields) is treated
+    as a miss and recomputed, not raised.
+    """
+    if cache is not None:
+        document = cache.get(RESULT_KIND, spec.fingerprint())
+        if document is not None:
+            try:
+                result = RunResult.from_dict(document)
+            except ReproError:
+                result = None
+            if result is not None:
+                result.cache_hit = True
+                return result
+
+    unprotected = None
+    design_key = spec.synthesis_fingerprint()
+    if cache is not None:
+        design_doc = cache.get(DESIGN_KIND, design_key)
+        if design_doc is not None:
+            try:
+                unprotected = design_from_dict(design_doc)
+            except ReproError:
+                unprotected = None
+
+    # compare_methods resolves the benchmark name through the per-process
+    # memo only when it actually has to synthesize (design-cache miss).
+    comparison = compare_methods(
+        spec.benchmark,
+        spec.switch_count,
+        seed=spec.seed,
+        synthesis_overrides=spec.synthesis,
+        engine=spec.engine,
+        ordering_strategy=spec.ordering_strategy,
+        synthesis_backend=spec.synthesis_backend,
+        unprotected=unprotected,
+    )
+    result = RunResult.from_comparison(spec, comparison)
+    if cache is not None:
+        if unprotected is None:
+            cache.put(DESIGN_KIND, design_key, design_to_dict(comparison.unprotected))
+        cache.put(RESULT_KIND, spec.fingerprint(), result.to_dict())
+    return result
+
+
+def _run_spec_task(task: Tuple[Dict[str, Any], Optional[str]]) -> RunResult:
+    """Process-pool worker: one spec dictionary + cache directory.
+
+    Module-level so :func:`parallel_map` can pickle it; only the small spec
+    dictionary travels to the worker, never a design or traffic object.
+    """
+    spec_data, cache_dir = task
+    spec = RunSpec.from_dict(spec_data)
+    cache = ArtifactCache(cache_dir) if cache_dir else None
+    return execute_spec(spec, cache)
+
+
+@dataclass
+class PlanResult:
+    """Everything a finished plan produced, in ``plan.all_specs()`` order."""
+
+    plan: ExperimentPlan
+    results: List[RunResult] = field(default_factory=list)
+    #: Memoised render_reports() output (reports are pure folds of the
+    #: results, so rendering once is enough for print + to_dict).
+    _rendered: Optional[List[Tuple[str, Dict[str, Any]]]] = field(
+        default=None, repr=False, compare=False
+    )
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for result in self.results if result.cache_hit)
+
+    def results_by_fingerprint(self) -> Dict[str, RunResult]:
+        return {result.spec.fingerprint(): result for result in self.results}
+
+    def result_for(self, spec: RunSpec) -> RunResult:
+        """The record of one spec (KeyError when the plan never ran it)."""
+        return self.results_by_fingerprint()[spec.fingerprint()]
+
+    def rows(self) -> List[Dict[str, Any]]:
+        """Legacy flat rows, one per executed spec."""
+        return [result.as_row() for result in self.results]
+
+    def render_reports(self) -> List[Tuple[str, Dict[str, Any]]]:
+        """Render every requested report, in plan order.
+
+        Returns ``(type, document)`` pairs; the documents are exactly what
+        the legacy per-figure helpers produce, so a figure plan's output is
+        byte-identical to the ``figures`` subcommand.
+        """
+        from repro.api.reports import report_types  # local: avoid import cycle
+
+        if self._rendered is None:
+            lookup = self.results_by_fingerprint()
+            rendered: List[Tuple[str, Dict[str, Any]]] = []
+            for request in self.plan.reports:
+                report = report_types.get(request.type)
+                rendered.append((request.type, report.render(request.params, lookup)))
+            self._rendered = rendered
+        return self._rendered
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "plan": self.plan.to_dict(),
+            "results": [result.to_dict() for result in self.results],
+            "reports": [
+                {"type": name, "data": document}
+                for name, document in self.render_reports()
+            ],
+        }
+
+
+class Runner:
+    """Executes specs and plans, optionally cached and in parallel.
+
+    Parameters
+    ----------
+    cache_dir:
+        Artifact-cache directory; ``None`` disables caching entirely.
+    jobs:
+        Worker-process count for plans, as in ``noc-deadlock figures -j``
+        (``None``/``0``/``1`` = serial, negative = one per CPU).
+    """
+
+    def __init__(
+        self,
+        *,
+        cache_dir: Optional[Union[str, Path]] = None,
+        jobs: Optional[int] = None,
+    ):
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        self.jobs = jobs
+        self.cache = ArtifactCache(self.cache_dir) if self.cache_dir else None
+
+    # ------------------------------------------------------------------
+    def run_spec(self, spec: RunSpec) -> RunResult:
+        """Execute a single spec in-process."""
+        return execute_spec(spec, self.cache)
+
+    def run(self, plan: ExperimentPlan) -> PlanResult:
+        """Execute every spec of ``plan`` (deduplicated) and return results."""
+        specs = plan.all_specs()
+        if resolve_jobs(self.jobs) <= 1 or len(specs) <= 1:
+            # Serial path stays in-process so self.cache accounts hits/misses.
+            results = [execute_spec(spec, self.cache) for spec in specs]
+        else:
+            tasks = [(spec.to_dict(), self.cache_dir) for spec in specs]
+            results = parallel_map(_run_spec_task, tasks, jobs=self.jobs)
+        return PlanResult(plan=plan, results=results)
+
+
+def run_plan(
+    plan: Union[ExperimentPlan, str, Path],
+    *,
+    cache_dir: Optional[Union[str, Path]] = None,
+    jobs: Optional[int] = None,
+) -> PlanResult:
+    """Convenience wrapper: load (when given a path) and execute a plan."""
+    if not isinstance(plan, ExperimentPlan):
+        plan = ExperimentPlan.load(plan)
+    return Runner(cache_dir=cache_dir, jobs=jobs).run(plan)

@@ -1,0 +1,419 @@
+"""Declarative experiment descriptions: :class:`RunSpec` and :class:`ExperimentPlan`.
+
+A :class:`RunSpec` pins down everything one evaluation point needs —
+benchmark, switch count, seed, synthesis overrides, removal engine,
+ordering strategy and synthesis backend — as plain data.  Specs serialize
+to/from JSON and hash to a stable content address
+(:meth:`RunSpec.fingerprint`), which is what the artifact cache keys on.
+
+An :class:`ExperimentPlan` is a named list of specs plus optional *report
+requests* (figure/table formatters from :mod:`repro.api.reports`).  The
+JSON form supports compact grids — ``benchmarks`` × ``switch_counts`` ×
+``seeds`` lists expand into the cartesian product of specs — so the whole
+figure set of the paper is a dozen lines of JSON (see ``plans/``).
+
+Plan schema (``format_version`` 1)::
+
+    {
+      "format_version": 1,
+      "name": "my-plan",
+      "defaults": {"seed": 0, "engine": "incremental"},
+      "runs": [
+        {"benchmark": "D26_media", "switch_counts": [5, 8, 11]},
+        {"benchmarks": ["D36_4", "D36_8"], "switch_count": 14, "seeds": [0, 1]}
+      ],
+      "reports": ["figure8", {"type": "figure9", "switch_counts": [10, 14]}]
+    }
+
+Every run entry accepts the singular or plural form of ``benchmark``,
+``switch_count`` and ``seed`` plus any other :class:`RunSpec` field;
+omitted fields fall back to ``defaults`` and then to the RunSpec defaults.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
+
+from repro.errors import PlanError
+
+#: Version tag baked into plan documents and content-address hashes; bump on
+#: any change that alters the meaning of a serialized spec.
+PLAN_FORMAT_VERSION = 1
+
+_SPEC_FIELDS = (
+    "benchmark",
+    "switch_count",
+    "seed",
+    "engine",
+    "ordering_strategy",
+    "synthesis_backend",
+    "synthesis",
+)
+
+
+def _canonical_hash(document: Mapping[str, Any]) -> str:
+    """SHA-256 over the canonical JSON form of ``document``."""
+    payload = json.dumps(document, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class RunSpec:
+    """One evaluation point of the paper's grid, as plain declarative data.
+
+    Attributes
+    ----------
+    benchmark:
+        Name in the benchmark registry (``repro.benchmarks.registry``).
+    switch_count:
+        Number of switches the topology is synthesized with.
+    seed:
+        Seed forwarded to benchmark generation and synthesis.
+    engine:
+        Removal engine name (``repro.api.registry.removal_engines``).
+    ordering_strategy:
+        Baseline class-assignment strategy
+        (``repro.api.registry.ordering_strategies``).
+    synthesis_backend:
+        Topology-synthesis backend
+        (``repro.api.registry.synthesis_backends``).
+    synthesis:
+        Extra keyword overrides for
+        :class:`repro.synthesis.builder.SynthesisConfig`.
+    """
+
+    benchmark: str
+    switch_count: int
+    seed: int = 0
+    engine: str = "incremental"
+    ordering_strategy: str = "hop_index"
+    synthesis_backend: str = "custom"
+    synthesis: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.benchmark, str) or not self.benchmark:
+            raise PlanError(f"benchmark must be a non-empty string, got {self.benchmark!r}")
+        if not isinstance(self.switch_count, int) or isinstance(self.switch_count, bool):
+            raise PlanError(f"switch_count must be an integer, got {self.switch_count!r}")
+        if self.switch_count < 1:
+            raise PlanError(f"switch_count must be positive, got {self.switch_count}")
+        if not isinstance(self.seed, int) or isinstance(self.seed, bool):
+            raise PlanError(f"seed must be an integer, got {self.seed!r}")
+        for name in ("engine", "ordering_strategy", "synthesis_backend"):
+            value = getattr(self, name)
+            if not isinstance(value, str) or not value:
+                raise PlanError(f"{name} must be a non-empty string, got {value!r}")
+        if not isinstance(self.synthesis, dict):
+            raise PlanError(f"synthesis overrides must be a mapping, got {self.synthesis!r}")
+        self.synthesis = dict(self.synthesis)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (all fields explicit, overrides copied)."""
+        return {
+            "benchmark": self.benchmark,
+            "switch_count": self.switch_count,
+            "seed": self.seed,
+            "engine": self.engine,
+            "ordering_strategy": self.ordering_strategy,
+            "synthesis_backend": self.synthesis_backend,
+            "synthesis": dict(self.synthesis),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
+        """Rebuild a spec; unknown keys raise :class:`~repro.errors.PlanError`."""
+        if not isinstance(data, Mapping):
+            raise PlanError(f"run spec must be a mapping, got {type(data).__name__}")
+        unknown = set(data) - set(_SPEC_FIELDS)
+        if unknown:
+            raise PlanError(
+                f"unknown run spec field(s): {', '.join(sorted(unknown))}; "
+                f"valid fields: {', '.join(_SPEC_FIELDS)}"
+            )
+        if "benchmark" not in data:
+            raise PlanError("run spec is missing the required 'benchmark' field")
+        if "switch_count" not in data:
+            raise PlanError("run spec is missing the required 'switch_count' field")
+        return cls(**dict(data))
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """Content address of the full spec — the result-cache key."""
+        return _canonical_hash({"format": PLAN_FORMAT_VERSION, "spec": self.to_dict()})
+
+    def synthesis_fingerprint(self) -> str:
+        """Content address of the synthesis-relevant subset of the spec.
+
+        Two specs that differ only in removal engine or ordering strategy
+        share this key, so the artifact cache can reuse the synthesized
+        (unprotected) design across them.
+        """
+        return _canonical_hash(
+            {
+                "format": PLAN_FORMAT_VERSION,
+                "design": {
+                    "benchmark": self.benchmark,
+                    "switch_count": self.switch_count,
+                    "seed": self.seed,
+                    "synthesis_backend": self.synthesis_backend,
+                    "synthesis": dict(self.synthesis),
+                },
+            }
+        )
+
+
+# ----------------------------------------------------------------------
+# Grid expansion
+# ----------------------------------------------------------------------
+
+def _axis_values(entry: Mapping[str, Any], singular: str, plural: str, default):
+    """Values of one grid axis, accepting the singular or the plural key."""
+    if singular in entry and plural in entry:
+        raise PlanError(f"run entry has both {singular!r} and {plural!r}")
+    if plural in entry:
+        values = entry[plural]
+        if not isinstance(values, (list, tuple)) or not values:
+            raise PlanError(f"{plural!r} must be a non-empty list, got {values!r}")
+        return list(values)
+    if singular in entry:
+        return [entry[singular]]
+    if default is None:
+        raise PlanError(f"run entry is missing {singular!r} (or {plural!r})")
+    return [default]
+
+
+def expand_run_entry(
+    entry: Mapping[str, Any], defaults: Optional[Mapping[str, Any]] = None
+) -> List[RunSpec]:
+    """Expand one plan run entry (a possibly-gridded mapping) into specs.
+
+    ``benchmark(s)`` × ``switch_count(s)`` × ``seed(s)`` expand as a
+    cartesian product in deterministic order (benchmarks outermost, seeds
+    innermost); the remaining fields are merged over ``defaults``.
+    """
+    if not isinstance(entry, Mapping):
+        raise PlanError(f"run entry must be a mapping, got {type(entry).__name__}")
+    merged = dict(defaults or {})
+    # An entry that sets an axis (in either form) fully overrides that axis:
+    # drop both of the axis's keys from the defaults so e.g. defaults
+    # {"seed": 0} and an entry {"seeds": [0, 1]} do not conflict.
+    for singular, plural in (
+        ("benchmark", "benchmarks"),
+        ("switch_count", "switch_counts"),
+        ("seed", "seeds"),
+    ):
+        if singular in entry or plural in entry:
+            merged.pop(singular, None)
+            merged.pop(plural, None)
+    merged.update(entry)
+
+    axis_keys = {"benchmark", "benchmarks", "switch_count", "switch_counts", "seed", "seeds"}
+    unknown = set(merged) - axis_keys - set(_SPEC_FIELDS)
+    if unknown:
+        raise PlanError(
+            f"unknown run entry field(s): {', '.join(sorted(unknown))}"
+        )
+
+    benchmarks = _axis_values(merged, "benchmark", "benchmarks", None)
+    switch_counts = _axis_values(merged, "switch_count", "switch_counts", None)
+    seeds = _axis_values(merged, "seed", "seeds", 0)
+
+    common = {
+        key: merged[key]
+        for key in ("engine", "ordering_strategy", "synthesis_backend", "synthesis")
+        if key in merged
+    }
+    specs: List[RunSpec] = []
+    for benchmark in benchmarks:
+        for count in switch_counts:
+            for seed in seeds:
+                specs.append(
+                    RunSpec(benchmark=benchmark, switch_count=count, seed=seed, **common)
+                )
+    return specs
+
+
+# ----------------------------------------------------------------------
+# Report requests
+# ----------------------------------------------------------------------
+
+@dataclass
+class ReportRequest:
+    """A figure/table to render from a plan's results.
+
+    ``type`` names an entry of :data:`repro.api.reports.report_types`;
+    ``params`` are formatter parameters (e.g. ``switch_counts``, ``seed``).
+    In plan JSON a bare string ``"figure8"`` is shorthand for
+    ``{"type": "figure8"}``.
+    """
+
+    type: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self):
+        if not isinstance(self.type, str) or not self.type:
+            raise PlanError(f"report type must be a non-empty string, got {self.type!r}")
+        if not isinstance(self.params, dict):
+            raise PlanError(f"report params must be a mapping, got {self.params!r}")
+        self.params = dict(self.params)
+
+    def to_dict(self) -> Union[str, Dict[str, Any]]:
+        if not self.params:
+            return self.type
+        return {"type": self.type, **self.params}
+
+    @classmethod
+    def from_dict(cls, data: Union[str, Mapping[str, Any]]) -> "ReportRequest":
+        if isinstance(data, str):
+            return cls(type=data)
+        if not isinstance(data, Mapping):
+            raise PlanError(
+                f"report request must be a string or mapping, got {type(data).__name__}"
+            )
+        if "type" not in data:
+            raise PlanError("report request is missing the required 'type' field")
+        params = {key: value for key, value in data.items() if key != "type"}
+        return cls(type=data["type"], params=params)
+
+
+# ----------------------------------------------------------------------
+# Experiment plans
+# ----------------------------------------------------------------------
+
+@dataclass
+class ExperimentPlan:
+    """A named batch of :class:`RunSpec` points plus report requests."""
+
+    name: str = "plan"
+    specs: List[RunSpec] = field(default_factory=list)
+    reports: List[ReportRequest] = field(default_factory=list)
+
+    def __post_init__(self):
+        if not isinstance(self.name, str) or not self.name:
+            raise PlanError(f"plan name must be a non-empty string, got {self.name!r}")
+
+    # ------------------------------------------------------------------
+    def all_specs(self) -> List[RunSpec]:
+        """Explicit specs plus every report's specs, deduplicated.
+
+        Order is deterministic: explicit specs first, then report specs in
+        request order, with later duplicates (same fingerprint) dropped —
+        e.g. the Figure 10, area and overhead reports all share the same
+        six 14-switch points, which are executed once.
+        """
+        from repro.api.reports import report_types  # local: avoid import cycle
+
+        seen: Dict[str, RunSpec] = {}
+        ordered: List[RunSpec] = []
+        for spec in self.specs:
+            key = spec.fingerprint()
+            if key not in seen:
+                seen[key] = spec
+                ordered.append(spec)
+        for request in self.reports:
+            report = report_types.get(request.type)
+            for spec in report.specs(request.params):
+                key = spec.fingerprint()
+                if key not in seen:
+                    seen[key] = spec
+                    ordered.append(spec)
+        return ordered
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """Normal-form document: grids already expanded into explicit runs."""
+        return {
+            "format_version": PLAN_FORMAT_VERSION,
+            "name": self.name,
+            "runs": [spec.to_dict() for spec in self.specs],
+            "reports": [request.to_dict() for request in self.reports],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "ExperimentPlan":
+        if not isinstance(data, Mapping):
+            raise PlanError(f"plan must be a mapping, got {type(data).__name__}")
+        version = data.get("format_version", PLAN_FORMAT_VERSION)
+        if version != PLAN_FORMAT_VERSION:
+            raise PlanError(
+                f"unsupported plan format version {version} (expected {PLAN_FORMAT_VERSION})"
+            )
+        known = {"format_version", "name", "defaults", "runs", "reports"}
+        unknown = set(data) - known
+        if unknown:
+            raise PlanError(f"unknown plan field(s): {', '.join(sorted(unknown))}")
+        defaults = data.get("defaults", {})
+        if not isinstance(defaults, Mapping):
+            raise PlanError(f"plan defaults must be a mapping, got {defaults!r}")
+        runs = data.get("runs", [])
+        if not isinstance(runs, (list, tuple)):
+            raise PlanError(f"plan runs must be a list, got {runs!r}")
+        specs: List[RunSpec] = []
+        for entry in runs:
+            specs.extend(expand_run_entry(entry, defaults))
+        reports_data = data.get("reports", [])
+        if not isinstance(reports_data, (list, tuple)):
+            raise PlanError(f"plan reports must be a list, got {reports_data!r}")
+        reports = [ReportRequest.from_dict(entry) for entry in reports_data]
+        if not specs and not reports:
+            raise PlanError("plan has neither runs nor reports — nothing to execute")
+        return cls(name=data.get("name", "plan"), specs=specs, reports=reports)
+
+    # ------------------------------------------------------------------
+    def to_json(self, *, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ExperimentPlan":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise PlanError(f"invalid plan JSON: {exc}") from exc
+        return cls.from_dict(data)
+
+    def save(self, path: Union[str, Path]) -> Path:
+        path = Path(path)
+        try:
+            path.write_text(self.to_json() + "\n")
+        except OSError as exc:
+            raise PlanError(f"could not write plan to {path}: {exc}") from exc
+        return path
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "ExperimentPlan":
+        path = Path(path)
+        try:
+            text = path.read_text()
+        except OSError as exc:
+            raise PlanError(f"could not read plan from {path}: {exc}") from exc
+        return cls.from_json(text)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_grid(
+        cls,
+        name: str,
+        benchmarks: Union[str, Sequence[str]],
+        switch_counts: Union[int, Sequence[int]],
+        *,
+        seeds: Union[int, Sequence[int]] = 0,
+        reports: Iterable[Union[str, ReportRequest]] = (),
+        **common: Any,
+    ) -> "ExperimentPlan":
+        """Programmatic grid constructor mirroring the JSON run entries."""
+        entry: Dict[str, Any] = dict(common)
+        entry["benchmarks"] = [benchmarks] if isinstance(benchmarks, str) else list(benchmarks)
+        entry["switch_counts"] = (
+            [switch_counts] if isinstance(switch_counts, int) else list(switch_counts)
+        )
+        entry["seeds"] = [seeds] if isinstance(seeds, int) else list(seeds)
+        requests = [
+            request if isinstance(request, ReportRequest) else ReportRequest(type=request)
+            for request in reports
+        ]
+        return cls(name=name, specs=expand_run_entry(entry), reports=requests)

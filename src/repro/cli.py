@@ -8,7 +8,13 @@ Installed as ``noc-deadlock``.  Subcommands:
 * ``synthesize``— generate an application-specific design from a benchmark;
 * ``simulate``  — run the wormhole simulator on a design;
 * ``benchmarks``— list the available SoC benchmarks;
-* ``figures``   — regenerate the data behind the paper's figures.
+* ``figures``   — regenerate the data behind the paper's figures;
+* ``run``       — execute a declarative experiment plan (JSON), with an
+  artifact cache so repeated sweeps reuse earlier work.
+
+Every subcommand is a thin adapter over the library — ``figures`` and
+``run`` both go through :mod:`repro.api`, so a plan holding the figure
+reports prints byte-identical JSON to the ``figures`` subcommand.
 """
 
 from __future__ import annotations
@@ -16,15 +22,13 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+from pathlib import Path
 from typing import List, Optional
 
-from repro.analysis.sweeps import (
-    area_savings_table,
-    figure10_power_series,
-    figure8_series,
-    figure9_series,
-    overhead_vs_unprotected,
-)
+from repro.api.registry import ordering_strategies, removal_engines
+from repro.api.reports import run_report
+from repro.api.runner import Runner, default_cache_dir
+from repro.api.spec import ExperimentPlan
 from repro.benchmarks.registry import get_benchmark, list_benchmarks
 from repro.core.cdg import build_cdg
 from repro.core.cycles import count_cycles, find_smallest_cycle
@@ -58,7 +62,7 @@ def _cmd_analyze(args: argparse.Namespace) -> int:
 
 def _cmd_remove(args: argparse.Namespace) -> int:
     design = load_design(args.design)
-    result = remove_deadlocks(design)
+    result = remove_deadlocks(design, engine=args.engine, cross_check=args.cross_check)
     print(result.summary())
     if args.output:
         save_design(result.design, args.output)
@@ -133,19 +137,47 @@ def _cmd_benchmarks(_args: argparse.Namespace) -> int:
     return 0
 
 
+#: Figure-subcommand choices -> report-type names, in ``all`` print order.
+_FIGURE_REPORTS = (
+    ("8", "figure8"),
+    ("9", "figure9"),
+    ("10", "figure10"),
+    ("area", "area"),
+    ("overhead", "overhead"),
+)
+
+
 def _cmd_figures(args: argparse.Namespace) -> int:
-    which = args.figure
-    jobs = args.jobs
-    if which in ("8", "all"):
-        print(json.dumps(figure8_series(seed=args.seed, jobs=jobs), indent=2))
-    if which in ("9", "all"):
-        print(json.dumps(figure9_series(seed=args.seed, jobs=jobs), indent=2))
-    if which in ("10", "all"):
-        print(json.dumps(figure10_power_series(seed=args.seed, jobs=jobs), indent=2))
-    if which in ("area", "all"):
-        print(json.dumps(area_savings_table(seed=args.seed, jobs=jobs), indent=2))
-    if which in ("overhead", "all"):
-        print(json.dumps(overhead_vs_unprotected(seed=args.seed, jobs=jobs), indent=2))
+    for choice, report in _FIGURE_REPORTS:
+        if args.figure in (choice, "all"):
+            data = run_report(report, {"seed": args.seed}, jobs=args.jobs)
+            print(json.dumps(data, indent=2))
+    return 0
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    plan = ExperimentPlan.load(args.plan)
+    cache_dir = None
+    if not args.no_cache:
+        cache_dir = Path(args.cache_dir).expanduser() if args.cache_dir else default_cache_dir()
+    runner = Runner(cache_dir=cache_dir, jobs=args.jobs)
+    outcome = runner.run(plan)
+
+    rendered = outcome.render_reports()
+    for _name, document in rendered:
+        print(json.dumps(document, indent=2))
+    if not rendered:
+        print(json.dumps(outcome.rows(), indent=2))
+    if args.output:
+        Path(args.output).write_text(json.dumps(outcome.to_dict(), indent=2) + "\n")
+        print(
+            f"wrote {len(outcome.results)} result(s) to {args.output}", file=sys.stderr
+        )
+    print(
+        f"plan {plan.name!r}: {len(outcome.results)} point(s), "
+        f"{outcome.cache_hits} served from cache",
+        file=sys.stderr,
+    )
     return 0
 
 
@@ -164,12 +196,26 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("remove", help="run the deadlock-removal algorithm")
     p.add_argument("design", help="path to a design JSON file")
+    p.add_argument(
+        "--engine",
+        choices=removal_engines.names(),
+        default="incremental",
+        help="removal engine (default: incremental)",
+    )
+    p.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="verify the incremental CDG against a full rebuild every "
+        "iteration (slow; debugging aid)",
+    )
     p.add_argument("-o", "--output", help="where to write the modified design")
     p.set_defaults(func=_cmd_remove)
 
     p = sub.add_parser("ordering", help="apply the resource-ordering baseline")
     p.add_argument("design", help="path to a design JSON file")
-    p.add_argument("--strategy", choices=["hop_index", "layered"], default="hop_index")
+    p.add_argument(
+        "--strategy", choices=ordering_strategies.names(), default="hop_index"
+    )
     p.add_argument("-o", "--output", help="where to write the modified design")
     p.set_defaults(func=_cmd_ordering)
 
@@ -209,6 +255,37 @@ def build_parser() -> argparse.ArgumentParser:
         "(default: serial; -1 = one per CPU)",
     )
     p.set_defaults(func=_cmd_figures)
+
+    p = sub.add_parser(
+        "run",
+        help="execute a declarative experiment plan (JSON) with artifact caching",
+    )
+    p.add_argument("plan", help="path to an ExperimentPlan JSON document")
+    p.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=None,
+        help="fan plan points out over N worker processes "
+        "(default: serial; -1 = one per CPU)",
+    )
+    p.add_argument(
+        "--cache-dir",
+        default=None,
+        help="artifact cache directory (default: $NOC_DEADLOCK_CACHE_DIR "
+        "or ~/.cache/noc-deadlock)",
+    )
+    p.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the artifact cache for this run",
+    )
+    p.add_argument(
+        "-o",
+        "--output",
+        help="write the full result document (specs, results, reports) as JSON",
+    )
+    p.set_defaults(func=_cmd_run)
     return parser
 
 

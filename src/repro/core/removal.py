@@ -14,7 +14,10 @@ by the benchmark harness: the cycle-selection heuristic (smallest / largest
 / random) and the direction policy (best-of-both / forward-only /
 backward-only).
 
-Two interchangeable engines drive the loop:
+Interchangeable engines drive the loop, looked up by name in the pluggable
+:data:`repro.api.registry.removal_engines` registry (new engines register
+with a decorator and become valid ``engine=`` values everywhere, including
+:class:`~repro.api.spec.RunSpec` and the CLI).  Built-ins:
 
 * ``engine="incremental"`` (default) — the performance core from
   :mod:`repro.perf`: the CDG is maintained incrementally from the route
@@ -32,6 +35,7 @@ import random
 import time
 from typing import Callable, Optional
 
+from repro.api.registry import removal_engines
 from repro.core.breaker import RESOURCE_PHYSICAL, RESOURCE_VIRTUAL, break_cycle
 from repro.core.cdg import build_cdg
 from repro.core.cost import BACKWARD, FORWARD, find_dependency_to_break
@@ -60,7 +64,6 @@ _POLICIES = (POLICY_BEST, POLICY_FORWARD, POLICY_BACKWARD)
 
 ENGINE_INCREMENTAL = "incremental"
 ENGINE_REBUILD = "rebuild"
-_ENGINES = (ENGINE_INCREMENTAL, ENGINE_REBUILD)
 
 
 class DeadlockRemover:
@@ -124,8 +127,11 @@ class DeadlockRemover:
             raise RemovalError(f"unknown direction policy {direction_policy!r}")
         if resource_mode not in (RESOURCE_VIRTUAL, RESOURCE_PHYSICAL):
             raise RemovalError(f"unknown resource mode {resource_mode!r}")
-        if engine not in _ENGINES:
-            raise RemovalError(f"unknown removal engine {engine!r}")
+        if engine not in removal_engines:
+            raise RemovalError(
+                f"unknown removal engine {engine!r}; "
+                f"available: {', '.join(removal_engines.names())}"
+            )
         self.cycle_selection = cycle_selection
         self.direction_policy = direction_policy
         self.resource_mode = resource_mode
@@ -174,10 +180,8 @@ class DeadlockRemover:
         work = design if in_place else design.copy()
 
         rng = random.Random(self.seed)
-        if self.engine == ENGINE_INCREMENTAL and self.cycle_selection == SELECT_SMALLEST:
-            result = self._remove_incremental(work)
-        else:
-            result = self._remove_rebuild(work, rng)
+        engine = removal_engines.get(self.engine)
+        result = engine(self, work, rng)
 
         result.runtime_seconds = time.perf_counter() - start
         if self.validate:
@@ -285,6 +289,28 @@ class DeadlockRemover:
         if self.on_iteration is not None:
             self.on_iteration(action)
         return action
+
+
+@removal_engines.register(ENGINE_INCREMENTAL)
+def _incremental_engine(
+    remover: DeadlockRemover, work: NocDesign, rng: random.Random
+) -> RemovalResult:
+    """Default engine: route-delta CDG maintenance + indexed cycle search.
+
+    Only accelerates the paper's ``"smallest"`` selection; the ablation
+    selections transparently fall back to the rebuild loop.
+    """
+    if remover.cycle_selection != SELECT_SMALLEST:
+        return remover._remove_rebuild(work, rng)
+    return remover._remove_incremental(work)
+
+
+@removal_engines.register(ENGINE_REBUILD)
+def _rebuild_engine(
+    remover: DeadlockRemover, work: NocDesign, rng: random.Random
+) -> RemovalResult:
+    """Seed engine: full ``build_cdg`` + full BFS sweep per iteration."""
+    return remover._remove_rebuild(work, rng)
 
 
 def remove_deadlocks(design: NocDesign, **options) -> RemovalResult:

@@ -46,6 +46,14 @@ class SerializationError(ReproError):
     """A design file could not be parsed or written."""
 
 
+class PlanError(ReproError):
+    """An experiment plan document (RunSpec / ExperimentPlan) is malformed."""
+
+
+class RegistryError(ReproError):
+    """An unknown name was requested from a strategy registry."""
+
+
 class CycleSearchError(ReproError):
     """Cycle search was asked something impossible (e.g. empty CDG node)."""
 

@@ -13,7 +13,10 @@ a strictly higher resource number, so no cyclic wait can form.  The cost is
 extra virtual channels: a physical link must provide one channel per
 distinct resource class any flow needs while crossing it.
 
-Two class-assignment strategies are provided:
+Class-assignment strategies are looked up by name in the pluggable
+:data:`repro.api.registry.ordering_strategies` registry (a registered
+strategy factory takes the working design and returns a
+:class:`ResourceClassAssigner`).  Built-ins:
 
 * ``"hop_index"`` — the straightforward scheme the paper describes: the
   class of the *i*-th channel of a route is *i*.  A link then needs one VC
@@ -29,8 +32,9 @@ Two class-assignment strategies are provided:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.api.registry import ordering_strategies
 from repro.core.cdg import build_cdg
 from repro.errors import OrderingError
 from repro.model.channels import Channel, Link
@@ -39,7 +43,24 @@ from repro.model.routes import Route
 
 STRATEGY_HOP_INDEX = "hop_index"
 STRATEGY_LAYERED = "layered"
-_STRATEGIES = (STRATEGY_HOP_INDEX, STRATEGY_LAYERED)
+
+
+@dataclass
+class ResourceClassAssigner:
+    """How one strategy maps routes to resource classes.
+
+    Attributes
+    ----------
+    classes_for:
+        Route -> per-hop resource-class list (one entry per channel).
+    resource_number:
+        ``(class, link)`` -> the strictly-increasing resource number
+        recorded for a channel of that class on that link (the defining
+        invariant checked by :func:`_check_ordering`).
+    """
+
+    classes_for: Callable[[Route], List[int]]
+    resource_number: Callable[[int, Link], int]
 
 
 @dataclass
@@ -121,6 +142,46 @@ def _acyclic_link_order(design: NocDesign) -> Dict[Link, int]:
     return {link: i for i, link in enumerate(ordered)}
 
 
+@ordering_strategies.register(STRATEGY_HOP_INDEX)
+def _hop_index_strategy(work: NocDesign) -> ResourceClassAssigner:
+    """The paper's textbook scheme: hop *i* gets class *i*."""
+
+    def classes_for(route: Route) -> List[int]:
+        return list(range(route.hop_count))
+
+    def resource_number(cls: int, _link: Link) -> int:
+        return cls
+
+    return ResourceClassAssigner(classes_for, resource_number)
+
+
+@ordering_strategies.register(STRATEGY_LAYERED)
+def _layered_strategy(work: NocDesign) -> ResourceClassAssigner:
+    """DFS-layered variant: a new class only on a base-order descent.
+
+    A class level can span several hops, so the recorded resource number is
+    the composite (level, base link order) flattened into one integer.
+    """
+    base_order = _acyclic_link_order(work)
+    stride = len(work.topology.links) + 1
+
+    def classes_for(route: Route) -> List[int]:
+        classes: List[int] = []
+        level = 0
+        previous: Optional[Link] = None
+        for link in route.links:
+            if previous is not None and base_order[link] <= base_order[previous]:
+                level += 1
+            classes.append(level)
+            previous = link
+        return classes
+
+    def resource_number(cls: int, link: Link) -> int:
+        return cls * stride + base_order[link]
+
+    return ResourceClassAssigner(classes_for, resource_number)
+
+
 def apply_resource_ordering(
     design: NocDesign, *, strategy: str = STRATEGY_HOP_INDEX
 ) -> OrderingResult:
@@ -129,29 +190,24 @@ def apply_resource_ordering(
     The input design must already have routes; the method keeps every flow
     on its physical path and only changes which VC of each link the flow
     uses, adding VCs where a link must serve several resource classes.
+
+    ``strategy`` names an entry of the pluggable
+    :data:`repro.api.registry.ordering_strategies` registry.
     """
-    if strategy not in _STRATEGIES:
-        raise OrderingError(f"unknown resource-ordering strategy {strategy!r}")
+    if strategy not in ordering_strategies:
+        raise OrderingError(
+            f"unknown resource-ordering strategy {strategy!r}; "
+            f"available: {', '.join(ordering_strategies.names())}"
+        )
     work = design.copy(name=f"{design.name}_ordering_{strategy}")
     topology = work.topology
 
-    base_order = _acyclic_link_order(work) if strategy == STRATEGY_LAYERED else {}
+    assigner: ResourceClassAssigner = ordering_strategies.get(strategy)(work)
 
     # First pass: determine, per flow and per hop, the resource class.
     flow_classes: Dict[str, List[int]] = {}
     for flow_name, route in work.routes.items():
-        classes: List[int] = []
-        if strategy == STRATEGY_HOP_INDEX:
-            classes = list(range(route.hop_count))
-        else:
-            level = 0
-            previous: Optional[Link] = None
-            for link in route.links:
-                if previous is not None and base_order[link] <= base_order[previous]:
-                    level += 1
-                classes.append(level)
-                previous = link
-        flow_classes[flow_name] = classes
+        flow_classes[flow_name] = assigner.classes_for(route)
 
     # Second pass: per link, collect the set of classes required and give the
     # link one VC per class (classes are mapped to VC indices in increasing
@@ -176,11 +232,8 @@ def apply_resource_ordering(
         extra += max(0, needed - 1)
 
     # Third pass: rewrite routes so each hop uses the VC of its class.  The
-    # recorded resource number must strictly increase along every route; for
-    # the layered strategy a class level can span several hops, so the
-    # resource number is the composite (level, base link order) flattened
-    # into a single integer.
-    stride = len(topology.links) + 1
+    # recorded resource number must strictly increase along every route;
+    # how a (class, link) pair maps to that number is the strategy's call.
     channel_class: Dict[Channel, int] = {}
     for flow_name, route in work.routes.items():
         new_channels = []
@@ -188,11 +241,7 @@ def apply_resource_ordering(
             cls = flow_classes[flow_name][hop]
             vc_index = link_classes[channel.link].index(cls)
             new_channel = Channel(channel.link, vc_index)
-            if strategy == STRATEGY_HOP_INDEX:
-                resource_number = cls
-            else:
-                resource_number = cls * stride + base_order[channel.link]
-            channel_class[new_channel] = resource_number
+            channel_class[new_channel] = assigner.resource_number(cls, channel.link)
             new_channels.append(new_channel)
         work.routes.set_route(flow_name, Route(new_channels))
 

@@ -24,6 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from repro.api.registry import synthesis_backends
 from repro.errors import SynthesisError
 from repro.model.design import NocDesign
 from repro.model.topology import Topology
@@ -238,3 +239,29 @@ def synthesize_for_switch_count(
     """Convenience wrapper used by the sweep benchmarks."""
     config = SynthesisConfig(n_switches=n_switches, **overrides)
     return synthesize_design(traffic, config)
+
+
+# ----------------------------------------------------------------------
+# Synthesis-backend registry entries.  A backend takes (traffic, config)
+# and returns a routed, validated design; RunSpec.synthesis_backend and
+# compare_methods(..., synthesis_backend=...) select one by name.
+# ----------------------------------------------------------------------
+
+@synthesis_backends.register("custom")
+def _custom_backend(traffic: CommunicationGraph, config: SynthesisConfig) -> NocDesign:
+    """The paper's flow: application-specific switch network (default)."""
+    return synthesize_design(traffic, config)
+
+
+@synthesis_backends.register("mesh")
+def _mesh_backend(traffic: CommunicationGraph, config: SynthesisConfig) -> NocDesign:
+    """Regular-mesh comparison backend: the closest-to-square ``rows × cols``
+    grid with at least ``config.n_switches`` switches, XY-routed (always
+    deadlock free — useful as a baseline workload for the experiment API).
+    """
+    from repro.synthesis.regular import mesh_design  # local: keep import light
+
+    rows = max(1, int(math.sqrt(config.n_switches)))
+    cols = (config.n_switches + rows - 1) // rows
+    name = f"{traffic.name}_{rows}x{cols}mesh"
+    return mesh_design(rows, cols, traffic, name=name)

@@ -1,0 +1,68 @@
+"""Tests for the content-addressed artifact cache (repro.api.cache)."""
+
+import json
+
+from repro.api.cache import ArtifactCache
+
+KEY = "ab" + "0" * 62
+OTHER_KEY = "cd" + "1" * 62
+
+
+class TestArtifactCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "cache")
+        assert cache.get("result", KEY) is None
+        assert cache.misses == 1
+
+        cache.put("result", KEY, {"x": 1})
+        assert cache.get("result", KEY) == {"x": 1}
+        assert cache.hits == 1
+
+    def test_kinds_are_namespaced(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("result", KEY, {"kind": "result"})
+        assert cache.get("design", KEY) is None
+        assert cache.get("result", KEY) == {"kind": "result"}
+
+    def test_sharded_layout(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("design", KEY, {})
+        assert path == tmp_path / "design" / "ab" / f"{KEY}.json"
+        assert path.is_file()
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("result", KEY, {"x": 1})
+        path.write_text("{truncated")
+        assert cache.get("result", KEY) is None
+
+    def test_overwrite_replaces_document(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("result", KEY, {"version": 1})
+        cache.put("result", KEY, {"version": 2})
+        assert cache.get("result", KEY) == {"version": 2}
+
+    def test_preserves_key_order(self, tmp_path):
+        # Design documents encode route insertion order in JSON object
+        # order; the cache must not re-sort them.
+        cache = ArtifactCache(tmp_path)
+        document = {"routes": {"z_flow": 1, "a_flow": 2, "m_flow": 3}}
+        path = cache.put("design", KEY, document)
+        loaded = json.loads(path.read_text())
+        assert list(loaded["routes"]) == ["z_flow", "a_flow", "m_flow"]
+
+    def test_has_does_not_touch_counters(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert not cache.has("result", KEY)
+        cache.put("result", KEY, {})
+        assert cache.has("result", KEY)
+        assert cache.hits == 0 and cache.misses == 0
+
+    def test_entry_count_and_clear(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("result", KEY, {})
+        cache.put("design", OTHER_KEY, {})
+        assert cache.entry_count() == 2
+        assert cache.entry_count("design") == 1
+        assert cache.clear() == 2
+        assert cache.entry_count() == 0
