@@ -169,14 +169,15 @@ def compare_methods(
     engine: str = ENGINE_INCREMENTAL,
     ordering_strategy: str = STRATEGY_HOP_INDEX,
     synthesis_backend: str = "custom",
+    routing_engine: str = "indexed",
     unprotected: Optional[NocDesign] = None,
 ) -> MethodComparison:
     """Run the full unprotected / removal / ordering comparison for one point.
 
-    ``engine``, ``ordering_strategy`` and ``synthesis_backend`` name entries
-    of the pluggable registries in :mod:`repro.api.registry`.  Passing a
-    pre-synthesized ``unprotected`` design (e.g. from the artifact cache)
-    skips the synthesis step entirely.
+    ``engine``, ``ordering_strategy``, ``synthesis_backend`` and
+    ``routing_engine`` name entries of the pluggable registries in
+    :mod:`repro.api.registry`.  Passing a pre-synthesized ``unprotected``
+    design (e.g. from the artifact cache) skips the synthesis step entirely.
     """
     if unprotected is None:
         # Only resolve the benchmark traffic when synthesis actually needs
@@ -184,6 +185,7 @@ def compare_methods(
         # design's own traffic copy carries everything downstream uses.
         traffic = _resolve_traffic(benchmark, seed)
         overrides = dict(synthesis_overrides or {})
+        overrides.setdefault("routing_engine", routing_engine)
         config = SynthesisConfig(n_switches=switch_count, seed=seed, **overrides)
         backend = synthesis_backends.get(synthesis_backend)
         unprotected = backend(traffic, config)

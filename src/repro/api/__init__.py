@@ -37,6 +37,7 @@ from repro.api.registry import (
     Registry,
     ordering_strategies,
     removal_engines,
+    routing_engines,
     synthesis_backends,
 )
 from repro.api.result import RESULT_FORMAT_VERSION, RunResult
@@ -84,6 +85,7 @@ __all__ = [
     "ordering_strategies",
     "removal_engines",
     "report_types",
+    "routing_engines",
     "run_plan",
     "run_report",
     "synthesis_backends",

@@ -13,9 +13,14 @@ where ``key`` is a SHA-256 content address derived from the producing
 
 Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers
 can share one cache directory; a corrupt or truncated entry is treated as a
-miss and overwritten, never trusted.  Documents are serialized *without*
-key sorting: design documents encode route insertion order in JSON object
-order, and re-sorting them would perturb downstream iteration order.
+miss and overwritten, never trusted.  A worker killed mid-write leaves its
+``.tmp`` file behind — those orphans are swept opportunistically the first
+time a process constructs a cache over the directory (once, so per-spec
+pool workers do not pay a tree walk per work item) and unconditionally by
+:meth:`ArtifactCache.clear`, so crashed sweeps cannot leak disk forever.
+Documents are serialized *without* key sorting: design documents encode
+route insertion order in JSON object order, and re-sorting them would
+perturb downstream iteration order.
 """
 
 from __future__ import annotations
@@ -23,10 +28,21 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 _KEY_PREFIX_LEN = 2
+
+#: Minimum age (seconds) before a construction-time sweep removes an orphaned
+#: ``.tmp`` file.  Concurrent workers finish a write in well under this, so
+#: only files from killed processes are collected.
+_TMP_SWEEP_MIN_AGE_SECONDS = 3600.0
+
+#: Cache roots already swept by this process.  Pool workers construct one
+#: ArtifactCache per work item; sweeping the whole tree once per process
+#: keeps the opportunistic cleanup off the per-spec hot path.
+_SWEPT_ROOTS: set = set()
 
 
 class ArtifactCache:
@@ -36,6 +52,9 @@ class ArtifactCache:
         self.root = Path(root).expanduser()
         self.hits = 0
         self.misses = 0
+        if self.root not in _SWEPT_ROOTS:
+            _SWEPT_ROOTS.add(self.root)
+            self.sweep_temp_files()
 
     # ------------------------------------------------------------------
     def _path(self, kind: str, key: str) -> Path:
@@ -54,24 +73,35 @@ class ArtifactCache:
         return document
 
     def put(self, kind: str, key: str, document: Dict[str, Any]) -> Path:
-        """Atomically store ``document`` under ``(kind, key)``."""
-        path = self._path(kind, key)
-        path.parent.mkdir(parents=True, exist_ok=True)
+        """Atomically store ``document`` under ``(kind, key)``.
+
+        Retries once when the temp file (or its directory) vanishes between
+        write and rename — a concurrent :meth:`clear` sweeps ``.tmp`` files
+        unconditionally, and losing that race must not crash the writer.
+        """
         payload = json.dumps(document, indent=None, separators=(",", ":"))
-        fd, tmp_name = tempfile.mkstemp(
-            dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
-        )
-        try:
-            with os.fdopen(fd, "w") as handle:
-                handle.write(payload)
-            os.replace(tmp_name, path)
-        except BaseException:
+        for attempt in range(2):
+            path = self._path(kind, key)
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd, tmp_name = tempfile.mkstemp(
+                dir=path.parent, prefix=f".{key[:8]}.", suffix=".tmp"
+            )
             try:
-                os.unlink(tmp_name)
-            except OSError:
-                pass
-            raise
-        return path
+                with os.fdopen(fd, "w") as handle:
+                    handle.write(payload)
+                os.replace(tmp_name, path)
+            except FileNotFoundError:
+                if attempt == 0:
+                    continue
+                raise
+            except BaseException:
+                try:
+                    os.unlink(tmp_name)
+                except OSError:
+                    pass
+                raise
+            return path
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def has(self, kind: str, key: str) -> bool:
         """True when an entry exists (does not touch the hit/miss counters)."""
@@ -85,16 +115,38 @@ class ArtifactCache:
             return 0
         return sum(1 for _ in base.rglob("*.json"))
 
-    def clear(self) -> int:
-        """Delete every artifact; returns how many were removed."""
+    def sweep_temp_files(self, *, min_age_seconds: float = _TMP_SWEEP_MIN_AGE_SECONDS) -> int:
+        """Remove orphaned ``.tmp`` files older than ``min_age_seconds``.
+
+        :meth:`put` writes through a temp file in the entry's directory; a
+        worker killed between ``mkstemp`` and ``os.replace`` leaks it.  Only
+        stale files are touched so a sweep can never race a live writer's
+        in-flight temp file; returns how many were removed.
+        """
         removed = 0
-        if self.root.is_dir():
-            for path in self.root.rglob("*.json"):
-                try:
+        if not self.root.is_dir():
+            return removed
+        cutoff = time.time() - min_age_seconds
+        for path in self.root.rglob("*.tmp"):
+            try:
+                if path.stat().st_mtime <= cutoff:
                     path.unlink()
                     removed += 1
-                except OSError:
-                    pass
+            except OSError:
+                pass
+        return removed
+
+    def clear(self) -> int:
+        """Delete every artifact and temp file; returns how many were removed."""
+        removed = 0
+        if self.root.is_dir():
+            for pattern in ("*.json", "*.tmp"):
+                for path in self.root.rglob(pattern):
+                    try:
+                        path.unlink()
+                        removed += 1
+                    except OSError:
+                        pass
         return removed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -131,3 +131,9 @@ ordering_strategies = Registry(
 #: Topology-synthesis backends (built-ins live in
 #: :mod:`repro.synthesis.builder`: ``"custom"`` and ``"mesh"``).
 synthesis_backends = Registry("synthesis backend", provider="repro.synthesis.builder")
+
+#: Shortest-path routing engines (built-ins live in
+#: :mod:`repro.routing.shortest_path`: ``"indexed"``, the polynomial indexed
+#: search, and ``"legacy"``, the seed path-tuple search kept as the
+#: cross-check reference).
+routing_engines = Registry("routing engine", provider="repro.routing.shortest_path")

@@ -85,6 +85,7 @@ def execute_spec(spec: RunSpec, cache: Optional[ArtifactCache] = None) -> RunRes
         engine=spec.engine,
         ordering_strategy=spec.ordering_strategy,
         synthesis_backend=spec.synthesis_backend,
+        routing_engine=spec.routing_engine,
         unprotected=unprotected,
     )
     result = RunResult.from_comparison(spec, comparison)

@@ -51,6 +51,7 @@ _SPEC_FIELDS = (
     "engine",
     "ordering_strategy",
     "synthesis_backend",
+    "routing_engine",
     "synthesis",
 )
 
@@ -81,6 +82,9 @@ class RunSpec:
     synthesis_backend:
         Topology-synthesis backend
         (``repro.api.registry.synthesis_backends``).
+    routing_engine:
+        Shortest-path routing engine used during synthesis
+        (``repro.api.registry.routing_engines``).
     synthesis:
         Extra keyword overrides for
         :class:`repro.synthesis.builder.SynthesisConfig`.
@@ -92,6 +96,7 @@ class RunSpec:
     engine: str = "incremental"
     ordering_strategy: str = "hop_index"
     synthesis_backend: str = "custom"
+    routing_engine: str = "indexed"
     synthesis: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
@@ -103,7 +108,7 @@ class RunSpec:
             raise PlanError(f"switch_count must be positive, got {self.switch_count}")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise PlanError(f"seed must be an integer, got {self.seed!r}")
-        for name in ("engine", "ordering_strategy", "synthesis_backend"):
+        for name in ("engine", "ordering_strategy", "synthesis_backend", "routing_engine"):
             value = getattr(self, name)
             if not isinstance(value, str) or not value:
                 raise PlanError(f"{name} must be a non-empty string, got {value!r}")
@@ -121,6 +126,7 @@ class RunSpec:
             "engine": self.engine,
             "ordering_strategy": self.ordering_strategy,
             "synthesis_backend": self.synthesis_backend,
+            "routing_engine": self.routing_engine,
             "synthesis": dict(self.synthesis),
         }
 
@@ -151,7 +157,9 @@ class RunSpec:
 
         Two specs that differ only in removal engine or ordering strategy
         share this key, so the artifact cache can reuse the synthesized
-        (unprotected) design across them.
+        (unprotected) design across them.  The routing engine *is* part of
+        the key: both built-ins produce identical designs, but the cache
+        must never silently conflate a third-party engine with them.
         """
         return _canonical_hash(
             {
@@ -161,6 +169,7 @@ class RunSpec:
                     "switch_count": self.switch_count,
                     "seed": self.seed,
                     "synthesis_backend": self.synthesis_backend,
+                    "routing_engine": self.routing_engine,
                     "synthesis": dict(self.synthesis),
                 },
             }
@@ -225,7 +234,13 @@ def expand_run_entry(
 
     common = {
         key: merged[key]
-        for key in ("engine", "ordering_strategy", "synthesis_backend", "synthesis")
+        for key in (
+            "engine",
+            "ordering_strategy",
+            "synthesis_backend",
+            "routing_engine",
+            "synthesis",
+        )
         if key in merged
     }
     specs: List[RunSpec] = []

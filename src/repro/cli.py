@@ -25,7 +25,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.api.registry import ordering_strategies, removal_engines
+from repro.api.registry import ordering_strategies, removal_engines, routing_engines
 from repro.api.reports import run_report
 from repro.api.runner import Runner, default_cache_dir
 from repro.api.spec import ExperimentPlan
@@ -82,7 +82,9 @@ def _cmd_ordering(args: argparse.Namespace) -> int:
 
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     traffic = get_benchmark(args.benchmark, seed=args.seed)
-    config = SynthesisConfig(n_switches=args.switches, seed=args.seed)
+    config = SynthesisConfig(
+        n_switches=args.switches, seed=args.seed, routing_engine=args.routing_engine
+    )
     design = synthesize_design(traffic, config)
     cdg = build_cdg(design)
     print(f"synthesized {design.name}: {design.topology.switch_count} switches, "
@@ -223,6 +225,12 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
     p.add_argument("--switches", type=int, default=14)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--routing-engine",
+        choices=routing_engines.names(),
+        default="indexed",
+        help="shortest-path routing engine (default: indexed)",
+    )
     p.add_argument("-o", "--output", help="where to write the design")
     p.set_defaults(func=_cmd_synthesize)
 

@@ -12,6 +12,7 @@ from __future__ import annotations
 from typing import List
 
 from repro.errors import ValidationError
+from repro.model.channels import channels_are_adjacent
 from repro.model.design import NocDesign
 
 
@@ -83,6 +84,18 @@ def validate_routes(design: NocDesign, require_all: bool = True) -> List[str]:
                 f"flow {flow.name!r}: route ends at {route.destination_switch!r} but the "
                 f"destination core {flow.dst!r} is attached to {dst_switch!r}"
             )
+        for first, second in zip(route, route[1:]):
+            # Route.__init__ enforces contiguity, but designs can arrive
+            # through serialization or tools that bypass the constructor;
+            # a route whose consecutive channels do not connect must never
+            # slip through whole-design validation.
+            if not channels_are_adjacent(first, second):
+                problems.append(
+                    f"flow {flow.name!r}: route is not contiguous — "
+                    f"{first.name} is followed by {second.name} but "
+                    f"{first.dst!r} != {second.src!r}"
+                )
+                break
         seen = set()
         for channel in route:
             if channel in seen:

@@ -1,6 +1,6 @@
 """repro.perf — the performance core of the reproduction.
 
-Three pieces, all behaviour-preserving accelerations of the seed code paths:
+Four pieces, all behaviour-preserving accelerations of the seed code paths:
 
 * :mod:`repro.perf.cdg_index` — :class:`~repro.perf.cdg_index.CDGIndex`, an
   incrementally maintained channel dependency graph over dense integer ids
@@ -9,6 +9,9 @@ Three pieces, all behaviour-preserving accelerations of the seed code paths:
 * :mod:`repro.perf.cycle_search` — SCC-pruned, per-component-cached
   smallest-cycle search that returns exactly what
   :func:`repro.core.cycles.find_smallest_cycle` would on a fresh rebuild;
+* :mod:`repro.perf.route_engine` — int-relabelled switch graph with a
+  per-node label Dijkstra and incremental congestion reweighting (replaces
+  the exponential path-tuple route search without changing any route);
 * :mod:`repro.perf.executor` — an ordered, serial-fallback
   ``ProcessPoolExecutor`` map used by the figure sweeps and the CLI's
   ``--jobs`` flag.
@@ -21,11 +24,14 @@ from repro.perf.cycle_search import (
     tarjan_sccs,
 )
 from repro.perf.executor import parallel_map, resolve_jobs
+from repro.perf.route_engine import IndexedRouter, SwitchGraph
 
 __all__ = [
     "CDGIndex",
     "channel_sort_key",
     "IncrementalCycleSearch",
+    "IndexedRouter",
+    "SwitchGraph",
     "count_cycles_indexed",
     "tarjan_sccs",
     "parallel_map",

@@ -86,13 +86,22 @@ def parallel_map(
         return [func(item) for item in items]
     # Exceptions raised *by func* inside a worker propagate to the caller
     # unchanged — only pool-infrastructure failures degrade to serial.
+    partial: List[R] = []
     try:
         with pool:
-            return list(pool.map(func, items))
+            for result in pool.map(func, items):
+                partial.append(result)
+            return partial
     except (BrokenProcessPool, pickle.PicklingError) as exc:
+        # The serial retry below re-executes *every* item, including the
+        # ones whose results already came back — callers whose work items
+        # have side effects (cache writes, file output) see those repeat.
+        # Being silent about it made double-writes undiagnosable.
         warnings.warn(
-            f"parallel_map: process pool unavailable ({exc!r}), "
-            "falling back to serial",
+            f"parallel_map: process pool died mid-run ({exc!r}) after "
+            f"{len(partial)} of {len(items)} item(s) completed; discarding "
+            "the partial results and re-running ALL items serially "
+            "(side effects of completed items will run twice)",
             RuntimeWarning,
             stacklevel=2,
         )

@@ -24,6 +24,7 @@ from repro.model.channels import Channel, Link
 from repro.model.design import NocDesign
 from repro.model.routes import Route, RouteSet
 from repro.model.topology import Topology
+from repro.perf.route_engine import SwitchGraph
 
 
 def bfs_levels(topology: Topology, root: str) -> Dict[str, int]:
@@ -61,6 +62,76 @@ def updown_orientation(topology: Topology, root: Optional[str] = None) -> Dict[L
     return orientation
 
 
+def _updown_up_flags(graph: SwitchGraph, orientation: Dict[Link, str]) -> List[bool]:
+    """Per-link-id "is an up link" flags for a :class:`SwitchGraph`."""
+    return [orientation[link] == "up" for link in graph.links]
+
+
+def _updown_search(
+    graph: SwitchGraph, up: List[bool], source_id: int, target_id: int
+) -> Optional[List[int]]:
+    """BFS for the first legal up*/down* path, over the indexed graph.
+
+    States are ``(switch id, phase)`` where phase 0 = still allowed to go
+    up, phase 1 = already went down (only down links allowed from now on).
+    Links are visited in sorted link order — identical traversal, and thus
+    identical routes, to the original per-flow name-based BFS.
+    """
+    start = source_id * 2
+    parents: Dict[int, Tuple[int, int]] = {}
+    seen = {start}
+    queue = deque([start])
+    out = graph.out
+    goal: Optional[int] = None
+    while queue and goal is None:
+        state = queue.popleft()
+        node, phase = state >> 1, state & 1
+        for dst, lid in out[node]:
+            is_up = up[lid]
+            if phase == 1 and is_up:
+                continue
+            next_state = dst * 2 + (phase if is_up else 1)
+            if next_state in seen:
+                continue
+            seen.add(next_state)
+            parents[next_state] = (state, lid)
+            if dst == target_id:
+                goal = next_state
+                break
+            queue.append(next_state)
+    if goal is None:
+        return None
+    links: List[int] = []
+    state = goal
+    while state != start:
+        state, lid = parents[state]
+        links.append(lid)
+    links.reverse()
+    return links
+
+
+def _updown_route_between(
+    graph: SwitchGraph, up: List[bool], source_switch: str, destination_switch: str
+) -> Route:
+    """Search + Route construction shared by the single-pair and per-design
+    entry points.  An unknown *destination* (or an exhausted search) raises
+    the documented RouteError; an unknown *source* raises TopologyError,
+    matching the original per-flow BFS which touched the source's adjacency
+    first and only ever discovered the destination by reaching it.
+    """
+    source_id = graph.switch_id(source_switch)
+    path = (
+        _updown_search(graph, up, source_id, graph.id_of[destination_switch])
+        if destination_switch in graph.id_of
+        else None
+    )
+    if path is None:
+        raise RouteError(
+            f"no up*/down* route from {source_switch!r} to {destination_switch!r}"
+        )
+    return Route([Channel(graph.links[lid], 0) for lid in path])
+
+
 def updown_route(
     topology: Topology,
     source_switch: str,
@@ -78,45 +149,21 @@ def updown_route(
     """
     if source_switch == destination_switch:
         raise RouteError("source and destination switch coincide")
-    orientation = updown_orientation(topology, root)
-    # BFS over (switch, phase) where phase 0 = still allowed to go up,
-    # phase 1 = already went down (only down links allowed from now on).
-    start = (source_switch, 0)
-    parents: Dict[Tuple[str, int], Tuple[Tuple[str, int], Link]] = {}
-    seen = {start}
-    queue = deque([start])
-    goal: Optional[Tuple[str, int]] = None
-    while queue and goal is None:
-        switch, phase = queue.popleft()
-        for link in topology.out_links(switch):
-            direction = orientation[link]
-            if phase == 1 and direction == "up":
-                continue
-            next_phase = phase if direction == "up" else 1
-            state = (link.dst, next_phase)
-            if state in seen:
-                continue
-            seen.add(state)
-            parents[state] = ((switch, phase), link)
-            if link.dst == destination_switch:
-                goal = state
-                break
-            queue.append(state)
-    if goal is None:
-        raise RouteError(
-            f"no up*/down* route from {source_switch!r} to {destination_switch!r}"
-        )
-    links: List[Link] = []
-    state = goal
-    while state != start:
-        state, link = parents[state]
-        links.append(link)
-    links.reverse()
-    return Route([Channel(link, 0) for link in links])
+    graph = SwitchGraph(topology)
+    up = _updown_up_flags(graph, updown_orientation(topology, root))
+    return _updown_route_between(graph, up, source_switch, destination_switch)
 
 
 def compute_updown_routes(design: NocDesign, *, root: Optional[str] = None) -> RouteSet:
-    """Route every flow of a design with up*/down* routing (stores + returns)."""
+    """Route every flow of a design with up*/down* routing (stores + returns).
+
+    The BFS-level orientation and the indexed :class:`SwitchGraph` are built
+    once per design and shared by every flow (the seed version re-derived
+    both per flow), which matters on the dense custom topologies of the
+    ablation benchmarks.
+    """
+    graph = SwitchGraph(design.topology)
+    up = _updown_up_flags(graph, updown_orientation(design.topology, root))
     for flow in design.traffic.flows:
         src_switch = design.switch_of(flow.src)
         dst_switch = design.switch_of(flow.dst)
@@ -124,8 +171,9 @@ def compute_updown_routes(design: NocDesign, *, root: Optional[str] = None) -> R
             if design.routes.has_route(flow.name):
                 design.routes.remove_route(flow.name)
             continue
-        route = updown_route(design.topology, src_switch, dst_switch, root=root)
-        design.routes.set_route(flow.name, route)
+        design.routes.set_route(
+            flow.name, _updown_route_between(graph, up, src_switch, dst_switch)
+        )
     return design.routes
 
 

@@ -24,7 +24,7 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
-from repro.api.registry import synthesis_backends
+from repro.api.registry import routing_engines, synthesis_backends
 from repro.errors import SynthesisError
 from repro.model.design import NocDesign
 from repro.model.topology import Topology
@@ -68,6 +68,12 @@ class SynthesisConfig:
         Reserved for future stochastic refinement steps; the current
         pipeline is fully deterministic but the seed is recorded in the
         design name so sweeps stay reproducible if that changes.
+    routing_engine:
+        Shortest-path engine name from
+        :data:`repro.api.registry.routing_engines` (``"indexed"`` by
+        default; ``"legacy"`` is the seed path-tuple search).  Both produce
+        identical routes — the knob exists for cross-checking and
+        benchmarking.
     """
 
     n_switches: int
@@ -77,6 +83,7 @@ class SynthesisConfig:
     balance_slack: int = 1
     congestion_factor: float = 0.5
     seed: int = 0
+    routing_engine: str = "indexed"
 
     def __post_init__(self):
         if self.n_switches < 1:
@@ -87,6 +94,11 @@ class SynthesisConfig:
             raise SynthesisError("max_switch_degree must be at least 2")
         if self.routing not in _ROUTINGS:
             raise SynthesisError(f"unknown routing mode {self.routing!r}")
+        if self.routing_engine not in routing_engines:
+            raise SynthesisError(
+                f"unknown routing engine {self.routing_engine!r}; "
+                f"available: {', '.join(routing_engines.names())}"
+            )
 
 
 def _inter_switch_traffic(
@@ -227,6 +239,7 @@ def synthesize_design(
             design,
             weight_mode=WEIGHT_CONGESTION,
             congestion_factor=config.congestion_factor,
+            engine=config.routing_engine,
         )
     assign_link_lengths(design)
     validate_design(design)

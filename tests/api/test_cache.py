@@ -66,3 +66,80 @@ class TestArtifactCache:
         assert cache.entry_count("design") == 1
         assert cache.clear() == 2
         assert cache.entry_count() == 0
+
+
+class TestTempFileSweep:
+    """Orphaned ``.tmp`` files from killed workers must not leak forever."""
+
+    @staticmethod
+    def _orphan(root, *, age_seconds: float = 0.0) -> "object":
+        import os
+
+        entry_dir = root / "result" / KEY[:2]
+        entry_dir.mkdir(parents=True, exist_ok=True)
+        tmp = entry_dir / f".{KEY[:8]}.deadbeef.tmp"
+        tmp.write_text('{"half": ')
+        if age_seconds:
+            past = tmp.stat().st_mtime - age_seconds
+            os.utime(tmp, (past, past))
+        return tmp
+
+    def test_clear_removes_temp_files(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.put("result", KEY, {})
+        tmp = self._orphan(tmp_path)
+        assert cache.clear() == 2
+        assert not tmp.exists()
+
+    def test_construction_sweeps_stale_temp_files(self, tmp_path):
+        stale = self._orphan(tmp_path, age_seconds=7200.0)
+        cache = ArtifactCache(tmp_path)
+        assert not stale.exists()
+        # The cache itself is untouched by the sweep.
+        cache.put("result", KEY, {"x": 1})
+        assert ArtifactCache(tmp_path).get("result", KEY) == {"x": 1}
+
+    def test_construction_sweeps_once_per_process(self, tmp_path):
+        # Pool workers build one cache per work item; only the first
+        # construction over a root may pay the recursive tree walk.
+        ArtifactCache(tmp_path)
+        stale = self._orphan(tmp_path, age_seconds=7200.0)
+        ArtifactCache(tmp_path)
+        assert stale.exists()
+
+    def test_construction_keeps_fresh_temp_files(self, tmp_path):
+        # A fresh temp file may belong to a live concurrent writer.
+        fresh = self._orphan(tmp_path)
+        ArtifactCache(tmp_path)
+        assert fresh.exists()
+
+    def test_sweep_temp_files_returns_removed_count(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        self._orphan(tmp_path, age_seconds=7200.0)
+        assert cache.sweep_temp_files(min_age_seconds=3600.0) == 1
+        assert cache.sweep_temp_files(min_age_seconds=3600.0) == 0
+
+    def test_missing_root_sweep_is_noop(self, tmp_path):
+        cache = ArtifactCache(tmp_path / "never-created")
+        assert cache.sweep_temp_files() == 0
+
+    def test_put_survives_concurrent_clear_of_its_temp_file(self, tmp_path, monkeypatch):
+        # clear() unconditionally unlinks .tmp files; a writer losing that
+        # race must retry instead of crashing mid-put.
+        import os as os_module
+
+        cache = ArtifactCache(tmp_path)
+        real_replace = os_module.replace
+        raised = {"count": 0}
+
+        def flaky_replace(src, dst):
+            if raised["count"] == 0:
+                raised["count"] += 1
+                os_module.unlink(src)  # what a concurrent clear() does
+                raise FileNotFoundError(src)
+            return real_replace(src, dst)
+
+        monkeypatch.setattr("repro.api.cache.os.replace", flaky_replace)
+        cache.put("result", KEY, {"x": 1})
+        assert cache.get("result", KEY) == {"x": 1}
+        assert raised["count"] == 1

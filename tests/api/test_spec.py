@@ -33,6 +33,7 @@ class TestRunSpec:
         assert spec.engine == "incremental"
         assert spec.ordering_strategy == "hop_index"
         assert spec.synthesis_backend == "custom"
+        assert spec.routing_engine == "indexed"
         assert spec.synthesis == {}
 
     def test_unknown_field_rejected(self):
@@ -64,6 +65,7 @@ class TestRunSpec:
             RunSpec(benchmark="D26_media", switch_count=8, engine="rebuild"),
             RunSpec(benchmark="D26_media", switch_count=8, ordering_strategy="layered"),
             RunSpec(benchmark="D26_media", switch_count=8, synthesis_backend="mesh"),
+            RunSpec(benchmark="D26_media", switch_count=8, routing_engine="legacy"),
             RunSpec(benchmark="D26_media", switch_count=8, synthesis={"seed": 2}),
         ]
         fingerprints = {spec.fingerprint() for spec in variants}
@@ -85,6 +87,22 @@ class TestRunSpec:
         a = RunSpec(benchmark="D26_media", switch_count=8)
         b = RunSpec(benchmark="D26_media", switch_count=8, synthesis={"max_switch_degree": 5})
         assert a.synthesis_fingerprint() != b.synthesis_fingerprint()
+
+    def test_routing_engine_round_trips_and_keys_the_design_cache(self):
+        spec = RunSpec(benchmark="D26_media", switch_count=8, routing_engine="legacy")
+        clone = RunSpec.from_dict(spec.to_dict())
+        assert clone.routing_engine == "legacy"
+        assert clone.fingerprint() == spec.fingerprint()
+        # A third-party engine must never share a cached design with the
+        # built-ins, so the synthesis fingerprint includes the engine.
+        default = RunSpec(benchmark="D26_media", switch_count=8)
+        assert spec.synthesis_fingerprint() != default.synthesis_fingerprint()
+
+    def test_routing_engine_expands_through_grid_entries(self):
+        specs = expand_run_entry(
+            {"benchmark": "D26_media", "switch_counts": [4, 6], "routing_engine": "legacy"}
+        )
+        assert [s.routing_engine for s in specs] == ["legacy", "legacy"]
 
 
 class TestGridExpansion:

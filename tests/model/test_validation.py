@@ -100,6 +100,28 @@ class TestRouteProblems:
         problems = validate_routes(simple_line_design)
         assert any("unknown flow" in p for p in problems)
 
+    def test_non_contiguous_route_reported(self, simple_line_design):
+        # Route.__init__ enforces contiguity, so forge a broken route the
+        # way a buggy tool or hand-edited design file would deliver one.
+        broken = Route.__new__(Route)
+        broken._channels = (
+            Channel(Link("A", "B")),
+            Channel(Link("C", "B")),  # B != C: the hops do not connect
+        )
+        simple_line_design.routes.set_route("f0", broken)
+        problems = validate_routes(simple_line_design)
+        assert any("not contiguous" in p for p in problems)
+
+    def test_non_contiguous_route_fails_validate_design(self, simple_line_design):
+        broken = Route.__new__(Route)
+        broken._channels = (
+            Channel(Link("A", "B")),
+            Channel(Link("C", "B")),
+        )
+        simple_line_design.routes.set_route("f0", broken)
+        with pytest.raises(ValidationError):
+            validate_design(simple_line_design)
+
     def test_route_repeating_channel_reported(self, simple_line_design):
         simple_line_design.topology.add_bidirectional_link("A", "C")
         route = Route(

@@ -16,6 +16,17 @@ def failing(x):
     raise ValueError(f"boom on {x}")
 
 
+def exit_in_worker(task):
+    """Kill the worker process for the "boom" item (breaks the pool); the
+    serial retry in the parent process completes normally."""
+    import os
+
+    item, parent_pid = task
+    if item == "boom" and os.getpid() != parent_pid:
+        os._exit(1)
+    return item
+
+
 class TestResolveJobs:
     def test_serial_values(self):
         assert resolve_jobs(None) == 1
@@ -57,3 +68,29 @@ class TestParallelMap:
     def test_parallel_propagates_exceptions(self):
         with pytest.raises(ValueError):
             parallel_map(failing, [1, 2, 3, 4], jobs=2)
+
+    def test_broken_pool_warns_about_discarded_partials_and_reruns(self):
+        # A worker dying mid-run breaks the pool; parallel_map must say how
+        # many already-computed results it is discarding (their side effects
+        # will run twice in the serial retry) instead of silently retrying.
+        import os
+
+        pid = os.getpid()
+        items = [("a", pid), ("b", pid), ("boom", pid), ("c", pid)]
+        with pytest.warns(RuntimeWarning, match="discarding"):
+            results = parallel_map(exit_in_worker, items, jobs=2)
+        assert results == ["a", "b", "boom", "c"]
+
+    def test_broken_pool_warning_reports_completed_count(self):
+        import os
+        import warnings as warnings_module
+
+        pid = os.getpid()
+        items = [(x, pid) for x in ["a", "b", "c", "d"]] + [("boom", pid)]
+        with warnings_module.catch_warnings(record=True) as caught:
+            warnings_module.simplefilter("always")
+            results = parallel_map(exit_in_worker, items, jobs=2)
+        assert results == ["a", "b", "c", "d", "boom"]
+        messages = [str(w.message) for w in caught if w.category is RuntimeWarning]
+        assert any("of 5 item(s) completed" in m for m in messages)
+        assert any("run twice" in m for m in messages)

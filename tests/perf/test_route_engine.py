@@ -1,0 +1,132 @@
+"""Tests for the indexed routing engine (repro.perf.route_engine)."""
+
+import pytest
+
+from repro.errors import RouteError, TopologyError
+from repro.model.channels import Link
+from repro.model.topology import Topology
+from repro.perf.route_engine import IndexedRouter, SwitchGraph
+
+
+@pytest.fixture
+def square() -> Topology:
+    """A bidirectional square A-B-C-D-A."""
+    topo = Topology("square")
+    topo.add_switches(["A", "B", "C", "D"])
+    topo.add_bidirectional_link("A", "B")
+    topo.add_bidirectional_link("B", "C")
+    topo.add_bidirectional_link("C", "D")
+    topo.add_bidirectional_link("D", "A")
+    return topo
+
+
+class TestSwitchGraph:
+    def test_ids_follow_sorted_name_order(self, square):
+        graph = SwitchGraph(square)
+        assert graph.switches == ["A", "B", "C", "D"]
+        assert [graph.switch_id(s) for s in "ABCD"] == [0, 1, 2, 3]
+
+    def test_adjacency_sorted_by_link_order(self, square):
+        graph = SwitchGraph(square)
+        a_out = [graph.links[lid].dst for _, lid in graph.out[graph.switch_id("A")]]
+        assert a_out == sorted(a_out)
+
+    def test_unknown_switch_raises(self, square):
+        graph = SwitchGraph(square)
+        with pytest.raises(TopologyError):
+            graph.switch_id("NOPE")
+
+    def test_shortest_path_same_node_is_empty(self, square):
+        graph = SwitchGraph(square)
+        assert graph.shortest_path(0, 0) == []
+
+    def test_shortest_path_prefers_lexicographic_tie(self, square):
+        # A->C has two 2-hop paths (via B or via D); B must win.
+        graph = SwitchGraph(square)
+        route = graph.route_between("A", "C")
+        assert route.switches == ["A", "B", "C"]
+
+    def test_weights_reroute(self, square):
+        graph = SwitchGraph(square)
+        graph.set_weights({Link("A", "B"): 10.0, Link("B", "C"): 10.0})
+        route = graph.route_between("A", "C")
+        assert route.switches == ["A", "D", "C"]
+
+    def test_set_weights_resets_previous_values(self, square):
+        graph = SwitchGraph(square)
+        graph.set_weights({Link("A", "B"): 10.0, Link("B", "C"): 10.0})
+        graph.set_weights({})
+        route = graph.route_between("A", "C")
+        assert route.switches == ["A", "B", "C"]
+
+    def test_unreachable_returns_none(self):
+        topo = Topology("split")
+        topo.add_switches(["A", "B"])
+        graph = SwitchGraph(topo)
+        assert graph.shortest_path(0, 1) is None
+        assert graph.route_between("A", "B") is None
+
+    def test_directed_links_are_respected(self):
+        topo = Topology("oneway")
+        topo.add_switches(["A", "B", "C"])
+        topo.add_link("A", "B")
+        topo.add_link("B", "C")
+        topo.add_link("C", "A")
+        graph = SwitchGraph(topo)
+        # C is reachable from A only the long way round.
+        assert graph.route_between("A", "C").switches == ["A", "B", "C"]
+        assert graph.route_between("C", "B").switches == ["C", "A", "B"]
+
+    def test_parallel_links_pick_cheapest_then_lowest_index(self):
+        topo = Topology("parallel")
+        topo.add_switches(["A", "B"])
+        expensive = topo.add_link("A", "B", index=0)
+        cheap = topo.add_link("A", "B", index=1)
+        graph = SwitchGraph(topo)
+        graph.set_weights({expensive: 5.0, cheap: 1.0})
+        assert graph.route_between("A", "B").links == (cheap,)
+        # Equal weights: the lower parallel index wins, like the legacy
+        # heap's link-tuple tie-break.
+        graph.set_weights({})
+        assert graph.route_between("A", "B").links == (expensive,)
+
+
+class TestIndexedRouter:
+    def test_same_switch_pair_rejected(self, square):
+        graph = SwitchGraph(square)
+        with pytest.raises(RouteError, match="no network route is needed"):
+            graph.route_between("A", "A")
+        with pytest.raises(RouteError, match="no network route is needed"):
+            IndexedRouter(square).route("A", "A")
+
+    def test_unreachable_raises_route_error(self):
+        topo = Topology("split")
+        topo.add_switches(["A", "B"])
+        router = IndexedRouter(topo)
+        with pytest.raises(RouteError, match="no path"):
+            router.route("A", "B")
+
+    def test_commit_reweights_only_touched_links(self, square):
+        router = IndexedRouter(square, congestion_factor=0.5, total_bandwidth=100.0)
+        route = router.route("A", "C")
+        router.commit(route, 100.0)
+        graph = router.graph
+        touched = {graph.link_id[link] for link in route.links}
+        for lid in range(graph.link_count):
+            if lid in touched:
+                assert graph.weight[lid] == pytest.approx(1.5)
+            else:
+                assert graph.weight[lid] == 1.0
+
+    def test_congestion_spreads_flows(self, square):
+        router = IndexedRouter(square, congestion_factor=0.5, total_bandwidth=100.0)
+        first = router.route("A", "C")
+        router.commit(first, 100.0)
+        second = router.route("A", "C")
+        assert first.switches == ["A", "B", "C"]
+        assert second.switches == ["A", "D", "C"]
+
+    def test_zero_factor_never_touches_weights(self, square):
+        router = IndexedRouter(square, congestion_factor=0.0, total_bandwidth=100.0)
+        router.commit(router.route("A", "C"), 100.0)
+        assert all(w == 1.0 for w in router.graph.weight)

@@ -59,6 +59,12 @@ class TestUpDown:
         with pytest.raises(RouteError):
             updown_route(small_mesh_design.topology, "sw_0_0", "sw_0_0")
 
+    def test_updown_unknown_destination_is_route_error(self, small_mesh_design):
+        # An unreachable (here: nonexistent) destination is a routing
+        # failure, not a topology error — the seed BFS simply exhausted.
+        with pytest.raises(RouteError, match="no up\\*/down\\* route"):
+            updown_route(small_mesh_design.topology, "sw_0_0", "sw_9_9")
+
     def test_compute_updown_routes_on_mesh(self, small_mesh_design):
         design = small_mesh_design.copy()
         compute_updown_routes(design)
