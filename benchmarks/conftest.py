@@ -39,3 +39,19 @@ def results_dir() -> Path:
     """The directory benchmark results are written to."""
     RESULTS_DIR.mkdir(parents=True, exist_ok=True)
     return RESULTS_DIR
+
+
+@pytest.fixture
+def context_counters():
+    """The design-context reuse counters, reset for one measurement window.
+
+    Benchmarks that rely on cached state (shared switch graphs, route-delta
+    CDG maintenance, indexed cost tables) take this fixture and assert the
+    relevant counters moved — a refactor that silently falls back to
+    rebuilding per call then fails the benchmark loudly instead of just
+    showing up as a slower number.
+    """
+    from repro.perf.design_context import counters
+
+    counters.reset()
+    yield counters

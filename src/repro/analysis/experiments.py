@@ -21,7 +21,7 @@ from typing import Dict, List, Optional, Sequence, Union
 from repro.analysis.metrics import percent_reduction
 from repro.api.registry import synthesis_backends
 from repro.benchmarks.registry import get_benchmark
-from repro.core.removal import ENGINE_INCREMENTAL, remove_deadlocks
+from repro.core.removal import DEFAULT_REMOVAL_ENGINE, remove_deadlocks
 from repro.core.report import RemovalResult
 from repro.model.design import NocDesign
 from repro.model.traffic import CommunicationGraph
@@ -29,8 +29,7 @@ from repro.perf.executor import parallel_map
 from repro.power.estimator import (
     NocAreaReport,
     NocPowerReport,
-    estimate_area,
-    estimate_power,
+    estimate_power_and_area,
 )
 from repro.power.orion import TechnologyParameters
 from repro.routing.ordering import (
@@ -166,7 +165,7 @@ def compare_methods(
     seed: int = 0,
     tech: Optional[TechnologyParameters] = None,
     synthesis_overrides: Optional[Dict] = None,
-    engine: str = ENGINE_INCREMENTAL,
+    engine: str = DEFAULT_REMOVAL_ENGINE,
     ordering_strategy: str = STRATEGY_HOP_INDEX,
     synthesis_backend: str = "custom",
     routing_engine: str = "indexed",
@@ -197,18 +196,23 @@ def compare_methods(
     ordering = apply_resource_ordering(unprotected, strategy=ordering_strategy)
 
     tech = tech or TechnologyParameters()
+    # One fused pass per design: power and area share the router-load /
+    # port-count / link-load derivations instead of re-deriving them.
+    unprotected_power, unprotected_area = estimate_power_and_area(unprotected, tech=tech)
+    removal_power, removal_area = estimate_power_and_area(removal.design, tech=tech)
+    ordering_power, ordering_area = estimate_power_and_area(ordering.design, tech=tech)
     return MethodComparison(
         benchmark=benchmark_name,
         switch_count=switch_count,
         unprotected=unprotected,
         removal=removal,
         ordering=ordering,
-        unprotected_power=estimate_power(unprotected, tech=tech),
-        removal_power=estimate_power(removal.design, tech=tech),
-        ordering_power=estimate_power(ordering.design, tech=tech),
-        unprotected_area=estimate_area(unprotected, tech=tech),
-        removal_area=estimate_area(removal.design, tech=tech),
-        ordering_area=estimate_area(ordering.design, tech=tech),
+        unprotected_power=unprotected_power,
+        removal_power=removal_power,
+        ordering_power=ordering_power,
+        unprotected_area=unprotected_area,
+        removal_area=removal_area,
+        ordering_area=ordering_area,
     )
 
 

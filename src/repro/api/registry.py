@@ -118,7 +118,8 @@ class Registry:
 
 
 #: Removal-engine loop implementations (built-ins live in
-#: :mod:`repro.core.removal`: ``"incremental"`` and ``"rebuild"``).
+#: :mod:`repro.core.removal`: ``"context"``, ``"incremental"`` and
+#: ``"rebuild"``).
 removal_engines = Registry("removal engine", provider="repro.core.removal")
 
 #: Resource-class assignment strategies for the ordering baseline

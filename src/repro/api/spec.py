@@ -93,7 +93,7 @@ class RunSpec:
     benchmark: str
     switch_count: int
     seed: int = 0
-    engine: str = "incremental"
+    engine: str = "context"
     ordering_strategy: str = "hop_index"
     synthesis_backend: str = "custom"
     routing_engine: str = "indexed"

@@ -201,8 +201,8 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument(
         "--engine",
         choices=removal_engines.names(),
-        default="incremental",
-        help="removal engine (default: incremental)",
+        default="context",
+        help="removal engine (default: context)",
     )
     p.add_argument(
         "--cross-check",

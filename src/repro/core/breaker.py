@@ -93,6 +93,7 @@ def break_cycle(
     iteration: int = 0,
     cost_table=None,
     resource_mode: str = RESOURCE_VIRTUAL,
+    context=None,
 ) -> BreakAction:
     """Break the dependency at ``position`` of ``cycle`` in ``direction``.
 
@@ -100,6 +101,14 @@ def break_cycle(
     physical links with ``resource_mode="physical"`` — and affected routes
     are rewritten).  Returns the :class:`~repro.core.report.BreakAction`
     describing what happened.
+
+    ``context`` (a :class:`~repro.perf.design_context.DesignContext` of
+    ``design``) is an optional accelerator: the affected flows are then
+    read from the indexed per-edge flow sets instead of scanning every
+    route, and channel/link duplications are reported back to the context
+    so its cached switch graph stays exact.  The produced action is
+    identical either way (the indexed flow list equals the scan, in the
+    same sorted order).
     """
     if direction not in (FORWARD, BACKWARD):
         raise RemovalError(f"unknown break direction {direction!r}")
@@ -114,7 +123,10 @@ def break_cycle(
     edge = edges[position]
     cycle_set = set(cycle)
 
-    affected = flows_creating_dependency(design, edge)
+    if context is not None:
+        affected = context.flows_creating(edge)
+    else:
+        affected = flows_creating_dependency(design, edge)
     if not affected:
         raise RemovalError(
             f"no flow creates the dependency {edge[0].name} -> {edge[1].name}; "
@@ -140,7 +152,12 @@ def break_cycle(
         for p in positions:
             original = route[p]
             if original not in duplicates:
-                duplicates[original] = _duplicate_channel(design, original, resource_mode)
+                duplicate = _duplicate_channel(design, original, resource_mode)
+                duplicates[original] = duplicate
+                if context is not None:
+                    if duplicate.link != original.link:
+                        context.notify_link_added(duplicate.link)
+                    context.notify_channel_added(duplicate)
             replacement[p] = duplicates[original]
         design.routes.set_route(flow_name, route.replace_at_positions(replacement))
         rerouted.append(flow_name)

@@ -19,11 +19,20 @@ Interchangeable engines drive the loop, looked up by name in the pluggable
 with a decorator and become valid ``engine=`` values everywhere, including
 :class:`~repro.api.spec.RunSpec` and the CLI).  Built-ins:
 
-* ``engine="incremental"`` (default) — the performance core from
-  :mod:`repro.perf`: the CDG is maintained incrementally from the route
-  deltas each break reports, and the smallest-cycle search is SCC-pruned
-  and cached per component, re-searching only the dirty region.  Identical
-  :class:`~repro.core.report.BreakAction` sequences to the rebuild engine.
+* ``engine="context"`` (default) — everything the incremental engine does,
+  plus the shared per-design state of
+  :class:`~repro.perf.design_context.DesignContext`: cost tables for both
+  break directions come from one pass over interned channel-id arrays
+  (:mod:`repro.perf.cost_index`), the affected flows of a break are read
+  from the indexed per-edge flow sets instead of scanning every route, and
+  the smallest-cycle BFS is depth-limited to where a strictly shorter
+  cycle can still exist.  Identical
+  :class:`~repro.core.report.BreakAction` sequences to both other engines.
+* ``engine="incremental"`` — the PR 1 performance core: the CDG is
+  maintained incrementally from the route deltas each break reports, and
+  the smallest-cycle search is SCC-pruned and cached per component,
+  re-searching only the dirty region.  Kept byte-for-byte as the PR 3
+  baseline the scaling benchmark measures against.
 * ``engine="rebuild"`` — the seed behaviour: ``build_cdg(work)`` from
   scratch and a full BFS sweep per iteration.  Kept as the reference for
   cross-checks, ablation selections (largest / random) and benchmarking.
@@ -51,6 +60,7 @@ from repro.model.design import NocDesign
 from repro.model.validation import validate_design
 from repro.perf.cdg_index import CDGIndex
 from repro.perf.cycle_search import IncrementalCycleSearch, count_cycles_indexed
+from repro.perf.design_context import DesignContext
 
 SELECT_SMALLEST = "smallest"
 SELECT_LARGEST = "largest"
@@ -62,8 +72,11 @@ POLICY_FORWARD = "forward"
 POLICY_BACKWARD = "backward"
 _POLICIES = (POLICY_BEST, POLICY_FORWARD, POLICY_BACKWARD)
 
+ENGINE_CONTEXT = "context"
 ENGINE_INCREMENTAL = "incremental"
 ENGINE_REBUILD = "rebuild"
+#: Engine used when callers do not choose one explicitly.
+DEFAULT_REMOVAL_ENGINE = ENGINE_CONTEXT
 
 
 class DeadlockRemover:
@@ -95,16 +108,24 @@ class DeadlockRemover:
     validate:
         Validate the design before and after removal (recommended).
     engine:
-        ``"incremental"`` (default) maintains the CDG from route deltas and
-        runs the SCC-pruned indexed cycle search; ``"rebuild"`` is the seed
-        behaviour (full ``build_cdg`` + full BFS sweep per iteration).  The
-        two produce identical break sequences; the incremental engine only
-        accelerates the paper's ``"smallest"`` selection and transparently
-        falls back to rebuilding for the ablation selections.
+        ``"context"`` (default) adds the shared
+        :class:`~repro.perf.design_context.DesignContext` state on top of
+        the incremental loop: one-pass int-indexed cost tables, indexed
+        affected-flow lookup and a depth-limited cycle BFS;
+        ``"incremental"`` maintains the CDG from route deltas and runs the
+        SCC-pruned indexed cycle search; ``"rebuild"`` is the seed
+        behaviour (full ``build_cdg`` + full BFS sweep per iteration).  All
+        three produce identical break sequences; the accelerated engines
+        only speed up the paper's ``"smallest"`` selection and
+        transparently fall back to rebuilding for the ablation selections.
     cross_check:
         Debug flag: after every incremental update, rebuild the CDG from
         scratch and assert the index matches it exactly (slow — for tests
-        and debugging only).  Ignored by the rebuild engine.
+        and debugging only).  The context engine additionally re-derives
+        every cost table (and break choice) with the reference builder,
+        raising on any mismatch; the CDG verification covers the per-edge
+        flow sets its affected-flow lookup is served from.  Ignored by the
+        rebuild engine.
     """
 
     def __init__(
@@ -118,7 +139,7 @@ class DeadlockRemover:
         seed: int = 0,
         on_iteration: Optional[Callable] = None,
         validate: bool = True,
-        engine: str = ENGINE_INCREMENTAL,
+        engine: str = DEFAULT_REMOVAL_ENGINE,
         cross_check: bool = False,
     ):
         if cycle_selection not in _SELECTIONS:
@@ -273,6 +294,94 @@ class DeadlockRemover:
             raise RemovalError("internal error: CDG still cyclic after removal loop")
         return result
 
+    def _remove_context(self, work: NocDesign) -> RemovalResult:
+        """The design-context loop: shared state + one-pass cost tables.
+
+        Same break sequence as the other engines (enforced by
+        ``cross_check=True``, the hypothesis suites and the per-benchmark
+        action-equality tests); on top of :meth:`_remove_incremental` the
+        cost tables of both directions come from one pass over interned
+        channel-id arrays, the affected flows of each break are read from
+        the indexed per-edge flow sets, and the cycle BFS is depth-limited.
+        """
+        context = DesignContext.of(work)
+        index = context.cdg_index()
+        cost_engine = context.cost_engine()
+        initially_free = index.is_acyclic()
+        initial_cycles = 0
+        if self.count_initial_cycles and not initially_free:
+            initial_cycles = count_cycles_indexed(index, limit=2000)
+
+        max_iterations = self.max_iterations
+        if max_iterations is None:
+            max_iterations = 100 + 10 * max(index.edge_count, 1)
+
+        result = RemovalResult(
+            design=work,
+            initially_deadlock_free=initially_free,
+            initial_cycle_count=initial_cycles,
+        )
+
+        policy = {
+            POLICY_BEST: "best",
+            POLICY_FORWARD: FORWARD,
+            POLICY_BACKWARD: BACKWARD,
+        }[self.direction_policy]
+        search = IncrementalCycleSearch(index, depth_limited=True)
+        iteration = 0
+        while True:
+            cycle = search.find_smallest()
+            if cycle is None:
+                break
+            iteration += 1
+            if iteration > max_iterations:
+                remaining = count_cycles_indexed(index, limit=100)
+                raise ConvergenceError(iteration - 1, remaining)
+            direction, cost, position, table = cost_engine.best_break(cycle, policy)
+            if self.cross_check:
+                self._verify_indexed_choice(work, cycle, direction, position, table)
+            action = break_cycle(
+                work,
+                cycle,
+                position,
+                direction,
+                iteration=iteration,
+                cost_table=table,
+                resource_mode=self.resource_mode,
+                context=context,
+            )
+            result.actions.append(action)
+            if self.on_iteration is not None:
+                self.on_iteration(action)
+            for flow_name, old_route in (action.previous_routes or {}).items():
+                context.apply_route_change(
+                    flow_name, old_route, work.routes.route(flow_name)
+                )
+            if self.cross_check:
+                index.verify_against(build_cdg(work))
+
+        result.iterations = iteration
+        if not index.is_acyclic():  # pragma: no cover - defensive
+            raise RemovalError("internal error: CDG still cyclic after removal loop")
+        return result
+
+    def _verify_indexed_choice(self, work, cycle, direction, position, table) -> None:
+        """Cross-check: the indexed cost engine must match the reference."""
+        ref_direction, ref_cost, ref_position, ref_table = self._choose_break(
+            cycle, work.routes
+        )
+        if (
+            (direction, table.best_cost, position)
+            != (ref_direction, ref_cost, ref_position)
+            or table != ref_table
+        ):
+            raise RemovalError(
+                "indexed cost engine diverged from the reference builder: "
+                f"chose {direction!r} cost {table.best_cost} at position "
+                f"{position}, reference chose {ref_direction!r} cost "
+                f"{ref_cost} at position {ref_position}"
+            )
+
     def _apply_break(self, work: NocDesign, cycle, iteration: int, result: RemovalResult):
         """Cost both directions, break the cheaper one, record the action."""
         direction, cost, position, table = self._choose_break(cycle, work.routes)
@@ -289,6 +398,20 @@ class DeadlockRemover:
         if self.on_iteration is not None:
             self.on_iteration(action)
         return action
+
+
+@removal_engines.register(ENGINE_CONTEXT)
+def _context_engine(
+    remover: DeadlockRemover, work: NocDesign, rng: random.Random
+) -> RemovalResult:
+    """Default engine: design-context shared state + one-pass cost tables.
+
+    Only accelerates the paper's ``"smallest"`` selection; the ablation
+    selections transparently fall back to the rebuild loop.
+    """
+    if remover.cycle_selection != SELECT_SMALLEST:
+        return remover._remove_rebuild(work, rng)
+    return remover._remove_context(work)
 
 
 @removal_engines.register(ENGINE_INCREMENTAL)

@@ -135,6 +135,22 @@ class NocDesign:
         return stats
 
     # ------------------------------------------------------------------
+    # pickling
+    # ------------------------------------------------------------------
+    def __getstate__(self):
+        """Pickle only the declared fields.
+
+        Performance layers attach derived caches to design instances (e.g.
+        the :class:`~repro.perf.design_context.DesignContext` with its
+        switch graph and CDG index).  Those caches are per-process and
+        rebuildable, so shipping them across process boundaries — every
+        sweep worker returns designs through ``parallel_map`` — would only
+        bloat the payload.
+        """
+        fields = self.__dataclass_fields__
+        return {key: value for key, value in self.__dict__.items() if key in fields}
+
+    # ------------------------------------------------------------------
     # copying
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "NocDesign":

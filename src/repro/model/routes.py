@@ -154,12 +154,26 @@ class RouteSet:
 
     def __init__(self, routes: Optional[Dict[str, Route]] = None):
         self._routes: Dict[str, Route] = dict(routes or {})
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Mutation counter, bumped by every route assignment or removal.
+
+        Derived caches (e.g. the CDG index a
+        :class:`~repro.perf.design_context.DesignContext` maintains) record
+        the version they were built against and detect out-of-band route
+        changes by comparing it — an O(1) staleness check where comparing
+        the routes themselves would cost a full walk.
+        """
+        return self._version
 
     def set_route(self, flow_name: str, route: Route) -> None:
         """Assign (or replace) the route of a flow."""
         if not flow_name:
             raise RouteError("flow name must be non-empty")
         self._routes[flow_name] = route
+        self._version += 1
 
     def route(self, flow_name: str) -> Route:
         """Look up the route of a flow."""
@@ -177,6 +191,7 @@ class RouteSet:
         if flow_name not in self._routes:
             raise RouteError(f"no route for flow {flow_name!r}")
         del self._routes[flow_name]
+        self._version += 1
 
     @property
     def flow_names(self) -> List[str]:

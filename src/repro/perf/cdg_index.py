@@ -179,6 +179,11 @@ class CDGIndex:
         return self._usage[channel_id] > 0
 
     @property
+    def interned_count(self) -> int:
+        """Number of channels ever interned (the dense id range, live or not)."""
+        return len(self._channels)
+
+    @property
     def vertex_count(self) -> int:
         """Number of live vertices (channels used by at least one route)."""
         return sum(1 for usage in self._usage if usage > 0)

@@ -107,11 +107,32 @@ class IncrementalCycleSearch:
     per iteration, after applying the iteration's route deltas to the index.
     Results are identical to
     :func:`repro.core.cycles.find_smallest_cycle` on a freshly rebuilt CDG.
+
+    ``depth_limited=True`` additionally bounds every BFS after the first
+    hit of a component to the depth at which a *strictly shorter* cycle
+    could still exist.  The seed tie-break keeps the first start vertex (in
+    channel sort order) achieving the minimal length, so a later start only
+    matters if it yields a strictly shorter cycle — a cycle of length
+    ``L`` through a start is discovered at BFS depth ``L - 1``, hence
+    exploring beyond depth ``best - 2`` cannot change the winner.  The
+    limited search returns the exact same entry (cycles at or above the
+    limit would have been discarded by the strict comparison anyway); the
+    flag exists so the ``"incremental"`` engine stays byte-for-byte the
+    PR 3 baseline the scaling benchmark compares against.
     """
 
-    def __init__(self, index: CDGIndex):
+    def __init__(self, index: CDGIndex, *, depth_limited: bool = False):
         self._index = index
+        self._depth_limited = depth_limited
         self._cache: Dict[FrozenSet[int], SccCycleEntry] = {}
+        # Epoch-stamped scratch arrays for the depth-limited search: indexed
+        # by dense channel id, validity decided by comparing stamps, so a
+        # fresh BFS costs one counter bump instead of fresh dicts.
+        self._member_stamp: List[int] = []
+        self._visit_stamp: List[int] = []
+        self._parent: List[int] = []
+        self._depth: List[int] = []
+        self._stamp = 0
 
     def find_smallest(self) -> Optional[List[Channel]]:
         """The smallest CDG cycle (ties: smallest start channel), or None."""
@@ -137,8 +158,90 @@ class IncrementalCycleSearch:
         return [index.channel_of(i) for i in best.cycle]
 
     # ------------------------------------------------------------------
+    def _ensure_capacity(self, size: int) -> None:
+        """Grow the scratch arrays to cover every interned channel id."""
+        missing = size - len(self._visit_stamp)
+        if missing > 0:
+            self._member_stamp.extend([0] * missing)
+            self._visit_stamp.extend([0] * missing)
+            self._parent.extend([-1] * missing)
+            self._depth.extend([0] * missing)
+
+    def _search_component_limited(self, component: List[int]) -> SccCycleEntry:
+        """Depth-limited, array-stamped variant of :meth:`_search_component`.
+
+        Same BFS order, same parent pointers, same returned entry — the
+        dictionaries of the reference variant are replaced by epoch-stamped
+        flat arrays over dense channel ids, and each BFS after the first
+        found cycle is bounded to the depth where a strictly shorter cycle
+        can still close (see the class docstring for why that preserves the
+        winner exactly).
+        """
+        index = self._index
+        self._ensure_capacity(index.interned_count)
+        member = self._member_stamp
+        visit = self._visit_stamp
+        parent = self._parent
+        depth = self._depth
+        self._stamp += 1
+        component_stamp = self._stamp
+        for vertex in component:
+            member[vertex] = component_stamp
+        starts = sorted(component, key=index.key_of)
+        best_cycle: Optional[Tuple[int, ...]] = None
+        best_start: Optional[int] = None
+        sorted_successors = index.sorted_successors
+        for start in starts:
+            max_depth = None if best_cycle is None else len(best_cycle) - 2
+            self._stamp += 1
+            bfs_stamp = self._stamp
+            visit[start] = bfs_stamp
+            parent[start] = -1
+            depth[start] = 0
+            queue = deque((start,))
+            found: Optional[Tuple[int, ...]] = None
+            while queue and found is None:
+                node = queue.popleft()
+                node_depth = depth[node]
+                expand = max_depth is None or node_depth < max_depth
+                for succ in sorted_successors(node):
+                    if succ == start:
+                        cycle = [node]
+                        current = node
+                        while parent[current] != -1:
+                            current = parent[current]
+                            cycle.append(current)
+                        cycle.reverse()
+                        found = tuple(cycle)
+                        break
+                    if (
+                        expand
+                        and member[succ] == component_stamp
+                        and visit[succ] != bfs_stamp
+                    ):
+                        visit[succ] = bfs_stamp
+                        parent[succ] = node
+                        depth[succ] = node_depth + 1
+                        queue.append(succ)
+            if found is None:
+                continue
+            if best_cycle is None or len(found) < len(best_cycle):
+                best_cycle = found
+                best_start = start
+                if len(best_cycle) == 2:
+                    break
+        if best_cycle is None:  # pragma: no cover - SCCs of size >= 2 have cycles
+            raise AssertionError("non-trivial SCC without a cycle")
+        return SccCycleEntry(
+            length=len(best_cycle),
+            start_key=index.key_of(best_start),
+            cycle=best_cycle,
+        )
+
     def _search_component(self, component: List[int]) -> SccCycleEntry:
         """BFS from every component vertex (sorted order), inside the SCC."""
+        if self._depth_limited:
+            return self._search_component_limited(component)
         index = self._index
         members = frozenset(component)
         starts = sorted(component, key=index.key_of)

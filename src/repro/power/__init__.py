@@ -13,6 +13,7 @@ from repro.power.estimator import (
     NocPowerReport,
     estimate_area,
     estimate_power,
+    estimate_power_and_area,
 )
 from repro.power.link import LinkPowerModel
 from repro.power.orion import RouterPowerModel, TechnologyParameters
@@ -23,6 +24,7 @@ __all__ = [
     "LinkPowerModel",
     "estimate_power",
     "estimate_area",
+    "estimate_power_and_area",
     "NocPowerReport",
     "NocAreaReport",
 ]

@@ -12,7 +12,7 @@ the paper's VC savings translate into power savings.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Optional, Tuple
 
 from repro.model.channels import Link
 from repro.model.design import NocDesign
@@ -84,12 +84,23 @@ class NocAreaReport:
         )
 
 
-def _router_loads(design: NocDesign, tech: TechnologyParameters) -> Dict[str, float]:
-    """Average per-router load (0..1) derived from the routed bandwidth."""
+def _router_loads(
+    design: NocDesign,
+    tech: TechnologyParameters,
+    port_counts: Optional[Dict[str, Dict[str, int]]] = None,
+    link_load: Optional[Dict[Link, float]] = None,
+) -> Dict[str, float]:
+    """Average per-router load (0..1) derived from the routed bandwidth.
+
+    ``port_counts`` and ``link_load`` let the fused estimation path share
+    the design-level derivations it already computed.
+    """
     capacity = tech.link_capacity_mbps
     loads: Dict[str, float] = {switch: 0.0 for switch in design.topology.switches}
-    port_counts = design.switch_port_counts()
-    link_load = design.link_load()
+    if port_counts is None:
+        port_counts = design.switch_port_counts()
+    if link_load is None:
+        link_load = design.link_load()
     incoming_bw: Dict[str, float] = {switch: 0.0 for switch in design.topology.switches}
     for link, bandwidth in link_load.items():
         incoming_bw[link.dst] += bandwidth
@@ -103,6 +114,62 @@ def _router_loads(design: NocDesign, tech: TechnologyParameters) -> Dict[str, fl
     return loads
 
 
+def _estimate(
+    design: NocDesign,
+    tech: Optional[TechnologyParameters],
+    router_model: Optional[RouterPowerModel],
+    link_model: Optional[LinkPowerModel],
+    *,
+    want_power: bool,
+    want_area: bool,
+) -> Tuple[Optional[NocPowerReport], Optional[NocAreaReport]]:
+    """Shared estimation core: derive each design-level input exactly once.
+
+    Power and area both walk the same port counts, and power additionally
+    needs the router loads and link loads; fusing the two report builds
+    means one ``switch_port_counts``/``link_load``/``_router_loads`` pass
+    serves both, instead of each public entry point re-deriving them.  The
+    per-component float expressions are unchanged, so fused and standalone
+    reports are identical.
+    """
+    tech = tech or TechnologyParameters()
+    router_model = router_model or RouterPowerModel(tech)
+    link_model = link_model or LinkPowerModel(tech)
+
+    port_counts = design.switch_port_counts()
+    topology = design.topology
+    power_report: Optional[NocPowerReport] = None
+    area_report: Optional[NocAreaReport] = None
+
+    if want_power:
+        power_report = NocPowerReport(design_name=design.name)
+        link_load = design.link_load()
+        loads = _router_loads(design, tech, port_counts, link_load)
+        for switch in topology.switches:
+            counts = port_counts[switch]
+            power_report.router_power_mw[switch] = router_model.total_power_mw(
+                counts["in_ports"], counts["out_ports"], counts["vcs"], loads[switch]
+            )
+        capacity = tech.link_capacity_mbps
+        for link, bandwidth in link_load.items():
+            length = topology.link_length(link)
+            load = min(bandwidth / capacity, 1.0)
+            power_report.link_power_mw[link] = link_model.total_power_mw(length, load)
+
+    if want_area:
+        area_report = NocAreaReport(design_name=design.name)
+        for switch in topology.switches:
+            counts = port_counts[switch]
+            area_report.router_area_mm2[switch] = router_model.area_mm2(
+                counts["in_ports"], counts["out_ports"], counts["vcs"]
+            )
+        for link in topology.links:
+            length = topology.link_length(link)
+            area_report.link_area_mm2[link] = link_model.area_mm2(length)
+
+    return power_report, area_report
+
+
 def estimate_power(
     design: NocDesign,
     *,
@@ -111,24 +178,10 @@ def estimate_power(
     link_model: Optional[LinkPowerModel] = None,
 ) -> NocPowerReport:
     """Estimate the power of every router and link of a design."""
-    tech = tech or TechnologyParameters()
-    router_model = router_model or RouterPowerModel(tech)
-    link_model = link_model or LinkPowerModel(tech)
-
-    report = NocPowerReport(design_name=design.name)
-    loads = _router_loads(design, tech)
-    port_counts = design.switch_port_counts()
-    for switch in design.topology.switches:
-        counts = port_counts[switch]
-        report.router_power_mw[switch] = router_model.total_power_mw(
-            counts["in_ports"], counts["out_ports"], counts["vcs"], loads[switch]
-        )
-    capacity = tech.link_capacity_mbps
-    for link, bandwidth in design.link_load().items():
-        length = design.topology.link_length(link)
-        load = min(bandwidth / capacity, 1.0)
-        report.link_power_mw[link] = link_model.total_power_mw(length, load)
-    return report
+    power, _ = _estimate(
+        design, tech, router_model, link_model, want_power=True, want_area=False
+    )
+    return power
 
 
 def estimate_area(
@@ -139,21 +192,31 @@ def estimate_area(
     link_model: Optional[LinkPowerModel] = None,
 ) -> NocAreaReport:
     """Estimate the silicon area of every router and link of a design."""
-    tech = tech or TechnologyParameters()
-    router_model = router_model or RouterPowerModel(tech)
-    link_model = link_model or LinkPowerModel(tech)
+    _, area = _estimate(
+        design, tech, router_model, link_model, want_power=False, want_area=True
+    )
+    return area
 
-    report = NocAreaReport(design_name=design.name)
-    port_counts = design.switch_port_counts()
-    for switch in design.topology.switches:
-        counts = port_counts[switch]
-        report.router_area_mm2[switch] = router_model.area_mm2(
-            counts["in_ports"], counts["out_ports"], counts["vcs"]
-        )
-    for link in design.topology.links:
-        length = design.topology.link_length(link)
-        report.link_area_mm2[link] = link_model.area_mm2(length)
-    return report
+
+def estimate_power_and_area(
+    design: NocDesign,
+    *,
+    tech: Optional[TechnologyParameters] = None,
+    router_model: Optional[RouterPowerModel] = None,
+    link_model: Optional[LinkPowerModel] = None,
+) -> Tuple[NocPowerReport, NocAreaReport]:
+    """Both reports of a design from one pass over the derived inputs.
+
+    Identical to calling :func:`estimate_power` and :func:`estimate_area`
+    separately, but the router loads, port counts and link loads — the
+    expensive design-level derivations — are computed once and shared.
+    The evaluation pipeline reports both quantities for every design it
+    touches, which previously doubled that work per sweep point.
+    """
+    power, area = _estimate(
+        design, tech, router_model, link_model, want_power=True, want_area=True
+    )
+    return power, area
 
 
 def power_overhead(reference: NocPowerReport, candidate: NocPowerReport) -> float:
@@ -162,14 +225,28 @@ def power_overhead(reference: NocPowerReport, candidate: NocPowerReport) -> floa
     Positive values mean the candidate consumes more power; this is the
     quantity behind Figure 10 (resource ordering vs. deadlock removal) and
     the <5% overhead claim (deadlock removal vs. unprotected design).
+
+    Raises :class:`ValueError` when the reference consumes no power at all
+    — the ratio is undefined there, and silently reporting "no overhead"
+    hid mis-wired comparisons (e.g. an empty reference design).
     """
     if reference.total_power_mw == 0:
-        return 0.0
+        raise ValueError(
+            f"reference power report {reference.design_name!r} totals 0 mW; "
+            "the relative overhead is undefined for a powerless reference"
+        )
     return candidate.total_power_mw / reference.total_power_mw - 1.0
 
 
 def area_overhead(reference: NocAreaReport, candidate: NocAreaReport) -> float:
-    """Relative area overhead of ``candidate`` with respect to ``reference``."""
+    """Relative area overhead of ``candidate`` with respect to ``reference``.
+
+    Raises :class:`ValueError` when the reference occupies no area (the
+    ratio is undefined), mirroring :func:`power_overhead`.
+    """
     if reference.total_area_mm2 == 0:
-        return 0.0
+        raise ValueError(
+            f"reference area report {reference.design_name!r} totals 0 mm²; "
+            "the relative overhead is undefined for a zero-area reference"
+        )
     return candidate.total_area_mm2 / reference.total_area_mm2 - 1.0

@@ -37,6 +37,7 @@ from repro.model.channels import Channel, Link
 from repro.model.design import NocDesign
 from repro.model.routes import Route, RouteSet
 from repro.model.topology import Topology
+from repro.perf.design_context import DesignContext
 from repro.perf.route_engine import IndexedRouter, SwitchGraph
 
 WEIGHT_HOPS = "hops"
@@ -214,7 +215,15 @@ def _indexed_compute_routes(
     congestion_factor: float,
     overwrite: bool,
 ) -> RouteSet:
-    """Default engine: batched int-indexed graph + incremental reweighting."""
+    """Default engine: batched int-indexed graph + incremental reweighting.
+
+    The int-relabelled :class:`SwitchGraph` comes from the design's
+    :class:`~repro.perf.design_context.DesignContext`, so the many
+    ``compute_routes`` calls of a removal run (or of a benchmark's repeated
+    rounds) share one adjacency build instead of rebuilding per call; the
+    router still resets the weight array, so each call starts from the
+    same zero-congestion state as a fresh graph.
+    """
     if congestion_factor < 0:
         # A negative factor can drive link weights to zero or below, where
         # the per-node label argument (and Dijkstra itself) is unsound —
@@ -231,6 +240,7 @@ def _indexed_compute_routes(
         design.topology,
         congestion_factor=congestion_factor if congestion else 0.0,
         total_bandwidth=max(design.traffic.total_bandwidth, 1e-9),
+        graph=DesignContext.of(design).graph(),
     )
     flows = sorted(design.traffic.flows, key=lambda f: (-f.bandwidth, f.name))
     for flow in flows:

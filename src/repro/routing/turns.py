@@ -24,6 +24,7 @@ from repro.model.channels import Channel, Link
 from repro.model.design import NocDesign
 from repro.model.routes import Route, RouteSet
 from repro.model.topology import Topology
+from repro.perf.design_context import DesignContext
 from repro.perf.route_engine import SwitchGraph
 
 
@@ -157,13 +158,16 @@ def updown_route(
 def compute_updown_routes(design: NocDesign, *, root: Optional[str] = None) -> RouteSet:
     """Route every flow of a design with up*/down* routing (stores + returns).
 
-    The BFS-level orientation and the indexed :class:`SwitchGraph` are built
-    once per design and shared by every flow (the seed version re-derived
-    both per flow), which matters on the dense custom topologies of the
-    ablation benchmarks.
+    The BFS-level orientation and the indexed :class:`SwitchGraph` come
+    from the design's :class:`~repro.perf.design_context.DesignContext`:
+    built once, shared by every flow (the seed version re-derived both per
+    flow) *and* by every later call on the same design — the up*/down*
+    ablation sweeps re-route the same design repeatedly and previously paid
+    for a fresh BFS orientation each time.
     """
-    graph = SwitchGraph(design.topology)
-    up = _updown_up_flags(graph, updown_orientation(design.topology, root))
+    context = DesignContext.of(design)
+    graph = context.graph()
+    _orientation, up = context.updown_state(root)
     for flow in design.traffic.flows:
         src_switch = design.switch_of(flow.src)
         dst_switch = design.switch_of(flow.dst)

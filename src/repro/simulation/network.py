@@ -41,6 +41,7 @@ class WormholeNetwork:
         self.buffer_depth = buffer_depth
         self.routers: Dict[str, Router] = {}
         self._pending_arrivals: List[Tuple[Channel, Flit]] = []
+        self._undelivered_flits = 0
         self._build()
 
     # ------------------------------------------------------------------
@@ -74,10 +75,23 @@ class WormholeNetwork:
             )
         for flit in make_flits(packet):
             router.injection_queues[packet.flow_name].append(flit)
+            self._undelivered_flits += 1
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
+    @property
+    def undelivered_flits(self) -> int:
+        """Flits injected but not yet ejected at their destination.
+
+        Maintained as an O(1) counter (incremented at injection,
+        decremented at final-hop delivery), so the simulator's drain loop
+        can test "everything in flight has been delivered" each cycle
+        without walking every router's buffers and injection queues.
+        Always equals ``flits_in_network() + flits_pending_injection()``.
+        """
+        return self._undelivered_flits
+
     def flits_in_network(self) -> int:
         """Flits stored in input buffers (excludes injection queues)."""
         return sum(router.buffered_flits() for router in self.routers.values())
@@ -198,6 +212,7 @@ class WormholeNetwork:
             router.output_source[channel] = None
         if is_last_hop:
             stats.flits_delivered += 1
+            self._undelivered_flits -= 1
             if flit.is_tail:
                 flit.packet.delivered_cycle = cycle
                 stats.packets_delivered += 1

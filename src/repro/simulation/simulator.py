@@ -105,8 +105,11 @@ class Simulator:
         """Simulate ``max_cycles`` of injection plus an optional drain phase.
 
         The drain phase stops injecting and keeps the network running until
-        it empties (or ``drain_cycles`` elapse), so latency statistics are
-        not biased towards short routes.
+        every in-flight packet has been delivered (or ``drain_cycles``
+        elapse), so latency statistics are not biased towards short routes.
+        The delivered-everything test is the network's O(1) undelivered-flit
+        counter, so a run that drains early never pays a per-cycle walk
+        over every router's buffers and injection queues.
         """
         deadlock_channels = None
         for _ in range(max_cycles):
@@ -119,10 +122,7 @@ class Simulator:
 
         if deadlock_channels is None and drain:
             for _ in range(drain_cycles):
-                if (
-                    self.network.flits_in_network() == 0
-                    and self.network.flits_pending_injection() == 0
-                ):
+                if self.network.undelivered_flits == 0:
                     break
                 transfers = self.network.step(self._cycle, self.stats)
                 deadlock_channels = self.monitor.record_cycle(self.network, transfers)

@@ -220,7 +220,16 @@ def synthesize_design(
     *,
     name: Optional[str] = None,
 ) -> NocDesign:
-    """Run the full synthesis pipeline and return a routed, validated design."""
+    """Run the full synthesis pipeline and return a routed, validated design.
+
+    The returned design carries a warm
+    :class:`~repro.perf.design_context.DesignContext` (created here, filled
+    by the routing step): later ``compute_routes`` / up*/down* calls on the
+    same design object reuse the int-relabelled switch graph and the BFS
+    orientation instead of rebuilding them per call.
+    """
+    from repro.perf.design_context import DesignContext  # local: keep import light
+
     core_map = partition_cores(
         traffic, config.n_switches, balance_slack=config.balance_slack
     )
@@ -232,6 +241,7 @@ def synthesize_design(
         traffic=traffic.copy(),
         core_map=dict(core_map),
     )
+    DesignContext.of(design)
     if config.routing == ROUTING_UPDOWN:
         compute_updown_routes(design)
     else:

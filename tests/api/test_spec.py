@@ -30,7 +30,7 @@ class TestRunSpec:
     def test_defaults(self):
         spec = RunSpec(benchmark="D26_media", switch_count=8)
         assert spec.seed == 0
-        assert spec.engine == "incremental"
+        assert spec.engine == "context"
         assert spec.ordering_strategy == "hop_index"
         assert spec.synthesis_backend == "custom"
         assert spec.routing_engine == "indexed"

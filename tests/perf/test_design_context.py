@@ -1,0 +1,225 @@
+"""DesignContext: shared state reuse, delta maintenance and invalidation.
+
+The context must never serve stale routing state: a channel duplicated
+mid-run — as a VC (no graph change) or as a parallel physical link (graph
+delta) — must leave the cached switch graph exactly equal to a fresh
+rebuild, and out-of-band topology edits must be caught by the staleness
+check.  These tests assert that by routing through the cached graph and
+through a freshly built one and requiring identical routes.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.model.channels import Channel, Link
+from repro.model.topology import Topology
+from repro.perf.design_context import DesignContext, counters
+from repro.perf.route_engine import SwitchGraph
+from repro.routing.shortest_path import compute_routes
+from repro.routing.turns import compute_updown_routes, updown_orientation
+from repro.synthesis.builder import SynthesisConfig, synthesize_design
+from repro.benchmarks.registry import get_benchmark
+
+
+@pytest.fixture
+def design():
+    traffic = get_benchmark("D26_media", seed=0)
+    return synthesize_design(traffic, SynthesisConfig(n_switches=8, seed=0))
+
+
+def _all_pair_routes(graph: SwitchGraph):
+    """Every reachable pair's route via a graph (deterministic probe)."""
+    routes = {}
+    for src in graph.switches:
+        for dst in graph.switches:
+            if src == dst:
+                continue
+            path = graph.shortest_path(graph.id_of[src], graph.id_of[dst])
+            routes[(src, dst)] = path if path is None else [graph.links[i] for i in path]
+    return routes
+
+
+class TestGraphReuse:
+    def test_same_graph_served_across_calls(self, design):
+        context = DesignContext.of(design)
+        first = context.graph()
+        assert context.graph() is first
+
+    def test_context_attached_to_design_instance(self, design):
+        assert DesignContext.of(design) is DesignContext.of(design)
+        assert DesignContext.of(design.copy()) is not DesignContext.of(design)
+
+    def test_repeated_compute_routes_reuse_one_graph(self, design):
+        counters.reset()
+        compute_routes(design)
+        compute_routes(design)
+        compute_routes(design)
+        assert counters.graph_builds <= 1
+        assert counters.graph_reuses >= 2
+
+    def test_reused_graph_routes_equal_fresh_build(self, design):
+        context = DesignContext.of(design)
+        context.graph()
+        compute_routes(design)  # exercise + warm
+        assert _all_pair_routes(context.graph()) == _all_pair_routes(
+            SwitchGraph(design.topology)
+        )
+
+
+class TestInvalidation:
+    def test_vc_duplication_keeps_graph_valid(self, design):
+        """Extra VCs change no physical link: same graph object, same routes."""
+        context = DesignContext.of(design)
+        graph = context.graph()
+        link = design.topology.links[0]
+        duplicate = design.topology.add_virtual_channel(link)
+        context.notify_channel_added(duplicate)
+        assert context.graph() is graph
+        assert _all_pair_routes(context.graph()) == _all_pair_routes(
+            SwitchGraph(design.topology)
+        )
+
+    def test_parallel_link_delta_matches_fresh_rebuild(self, design):
+        """A notified parallel link is appended in place, not rebuilt."""
+        context = DesignContext.of(design)
+        graph = context.graph()
+        counters.reset()
+        new_link = design.topology.add_parallel_link(design.topology.links[0])
+        context.notify_link_added(new_link)
+        assert context.graph() is graph  # delta, not rebuild
+        assert counters.graph_deltas == 1
+        assert new_link in context.graph().link_id
+        assert _all_pair_routes(context.graph()) == _all_pair_routes(
+            SwitchGraph(design.topology)
+        )
+
+    def test_out_of_band_link_addition_triggers_rebuild(self, design):
+        """Un-notified topology edits must not be served stale."""
+        context = DesignContext.of(design)
+        stale = context.graph()
+        switches = design.topology.switches
+        design.topology.add_link(switches[0], switches[-1], index=7)
+        fresh = context.graph()
+        assert fresh is not stale
+        assert _all_pair_routes(fresh) == _all_pair_routes(SwitchGraph(design.topology))
+
+    def test_mid_run_duplication_routes_match_fresh_context(self, design):
+        """The satellite scenario: duplicate channels mid-run, then route —
+        results must match a context built from scratch on the same design."""
+        context = DesignContext.of(design)
+        context.graph()
+        topology = design.topology
+        for link in topology.links[:3]:
+            context.notify_channel_added(topology.add_virtual_channel(link))
+        new_link = topology.add_parallel_link(topology.links[1])
+        context.notify_link_added(new_link)
+        compute_routes(design)
+        via_context = {name: design.routes.route(name) for name in design.routes}
+        fresh = design.copy()
+        compute_routes(fresh)
+        via_fresh = {name: fresh.routes.route(name) for name in fresh.routes}
+        assert via_context == via_fresh
+
+
+class TestUpdownState:
+    def test_orientation_matches_reference(self, design):
+        context = DesignContext.of(design)
+        orientation, up_flags = context.updown_state()
+        reference = updown_orientation(design.topology)
+        assert orientation == reference
+        graph = context.graph()
+        assert up_flags == [reference[link] == "up" for link in graph.links]
+
+    def test_cached_until_topology_changes(self, design):
+        context = DesignContext.of(design)
+        counters.reset()
+        context.updown_state()
+        context.updown_state()
+        assert counters.updown_builds == 1
+        assert counters.updown_reuses == 1
+        new_link = design.topology.add_parallel_link(design.topology.links[0])
+        context.notify_link_added(new_link)
+        orientation, up_flags = context.updown_state()
+        assert counters.updown_builds == 2
+        assert orientation == updown_orientation(design.topology)
+        assert len(up_flags) == design.topology.link_count
+
+    def test_repeated_updown_routing_reuses_state(self, design):
+        counters.reset()
+        first = compute_updown_routes(design).copy()
+        second = compute_updown_routes(design).copy()
+        assert first == second
+        assert counters.updown_reuses >= 1
+
+
+class TestRouteIndex:
+    def test_route_ids_follow_route_changes(self, design):
+        context = DesignContext.of(design)
+        cdg = context.cdg_index()
+        flow_name = design.routes.flow_names[0]
+        old_route = design.routes.route(flow_name)
+        assert [cdg.channel_of(i) for i in context.route_ids(flow_name)] == list(
+            old_route.channels
+        )
+        duplicate = design.topology.add_virtual_channel(old_route[0].link)
+        new_route = old_route.replace_at_positions({0: duplicate})
+        design.routes.set_route(flow_name, new_route)
+        context.apply_route_change(flow_name, old_route, new_route)
+        assert [cdg.channel_of(i) for i in context.route_ids(flow_name)] == list(
+            new_route.channels
+        )
+
+    def test_out_of_band_route_change_rebuilds_cdg(self, design):
+        """Routes rewritten without apply_route_change must not leave a
+        stale CDG behind (version-stamp staleness guard)."""
+        context = DesignContext.of(design)
+        stale = context.cdg_index()
+        compute_routes(design, weight_mode="hops")  # out-of-band rewrite
+        fresh = context.cdg_index()
+        assert fresh is not stale
+        from repro.core.cdg import build_cdg
+
+        fresh.verify_against(build_cdg(design))
+
+    def test_repeated_in_place_removal_with_reroute_between(self):
+        """The reviewer scenario: in-place removal, out-of-band re-route,
+        in-place removal again — the attached context must not serve the
+        first run's CDG to the second."""
+        from repro.core.removal import remove_deadlocks
+
+        traffic = get_benchmark("D36_8", seed=0)
+        design = synthesize_design(traffic, SynthesisConfig(n_switches=14, seed=0))
+        remove_deadlocks(design, engine="context", in_place=True)
+        compute_routes(design)  # bypasses the context's apply_route_change
+        # The reference runs on a copy of the *same* mutated state; the
+        # context run must match it despite the stale attached context.
+        reference = remove_deadlocks(design.copy(), engine="rebuild", in_place=True)
+        result = remove_deadlocks(design, engine="context", in_place=True, cross_check=True)
+        assert result.is_deadlock_free
+        assert result.actions == reference.actions
+        assert result.design.routes == reference.design.routes
+
+    def test_pickling_drops_attached_context(self, design):
+        """Contexts are per-process caches: they must not ride along when a
+        design crosses a process boundary (sweep workers return designs)."""
+        import pickle
+
+        context = DesignContext.of(design)
+        context.graph()
+        context.cdg_index()
+        clone = pickle.loads(pickle.dumps(design))
+        assert not hasattr(clone, "_design_context")
+        assert clone == design
+        assert DesignContext.of(clone) is not context
+
+    def test_flows_creating_matches_reference_scan(self, design):
+        from repro.core.breaker import flows_creating_dependency
+        from repro.core.cdg import build_cdg
+
+        context = DesignContext.of(design)
+        cdg = build_cdg(design)
+        for edge in sorted(cdg.edges)[:10]:
+            assert context.flows_creating(edge) == flows_creating_dependency(
+                design, edge
+            )

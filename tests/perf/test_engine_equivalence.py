@@ -31,18 +31,19 @@ def _synthesize(name: str, seed: int = 0):
 def test_identical_break_actions_on_benchmark(name):
     design = _synthesize(name)
     seed_result = remove_deadlocks(design, engine="rebuild")
-    fast_result = remove_deadlocks(design, engine="incremental", cross_check=True)
-    assert fast_result.actions == seed_result.actions
-    assert fast_result.iterations == seed_result.iterations
-    assert fast_result.added_vc_count == seed_result.added_vc_count
-    assert fast_result.initial_cycle_count == seed_result.initial_cycle_count
-    assert fast_result.initially_deadlock_free == seed_result.initially_deadlock_free
-    assert fast_result.design.routes == seed_result.design.routes
+    for engine in ("incremental", "context"):
+        fast_result = remove_deadlocks(design, engine=engine, cross_check=True)
+        assert fast_result.actions == seed_result.actions
+        assert fast_result.iterations == seed_result.iterations
+        assert fast_result.added_vc_count == seed_result.added_vc_count
+        assert fast_result.initial_cycle_count == seed_result.initial_cycle_count
+        assert fast_result.initially_deadlock_free == seed_result.initially_deadlock_free
+        assert fast_result.design.routes == seed_result.design.routes
 
 
-def test_default_engine_is_incremental():
+def test_default_engine_is_context():
     remover = DeadlockRemover()
-    assert remover.engine == "incremental"
+    assert remover.engine == "context"
     assert remover.cross_check is False
 
 

@@ -4,9 +4,12 @@ import pytest
 
 from repro.core.removal import remove_deadlocks
 from repro.power.estimator import (
+    NocAreaReport,
+    NocPowerReport,
     area_overhead,
     estimate_area,
     estimate_power,
+    estimate_power_and_area,
     power_overhead,
 )
 from repro.power.orion import TechnologyParameters
@@ -103,3 +106,38 @@ class TestPaperShapedComparisons:
             bigger.topology.add_virtual_channel(link)
         assert power_overhead(base_power, estimate_power(bigger)) > 0
         assert area_overhead(base_area, estimate_area(bigger)) > 0
+
+    def test_zero_reference_power_raises_value_error(self, ring_design_fixture):
+        """Regression: a powerless reference must raise a clear ValueError
+        instead of failing with a division error or silently reporting 0."""
+        empty = NocPowerReport(design_name="empty")
+        candidate = estimate_power(ring_design_fixture)
+        with pytest.raises(ValueError, match="0 mW"):
+            power_overhead(empty, candidate)
+
+    def test_zero_reference_area_raises_value_error(self, ring_design_fixture):
+        empty = NocAreaReport(design_name="empty")
+        candidate = estimate_area(ring_design_fixture)
+        with pytest.raises(ValueError, match="0 mm"):
+            area_overhead(empty, candidate)
+
+
+class TestFusedEstimation:
+    def test_fused_reports_equal_standalone(self, d36_8_design_14sw):
+        """estimate_power_and_area shares one derivation pass but must be
+        value-identical to the two standalone entry points."""
+        power, area = estimate_power_and_area(d36_8_design_14sw)
+        assert power.router_power_mw == estimate_power(d36_8_design_14sw).router_power_mw
+        assert power.link_power_mw == estimate_power(d36_8_design_14sw).link_power_mw
+        assert area.router_area_mm2 == estimate_area(d36_8_design_14sw).router_area_mm2
+        assert area.link_area_mm2 == estimate_area(d36_8_design_14sw).link_area_mm2
+
+    def test_fused_honours_custom_tech(self, ring_design_fixture):
+        tech = TechnologyParameters(tech_nm=45.0, voltage=0.9)
+        power, area = estimate_power_and_area(ring_design_fixture, tech=tech)
+        assert power.total_power_mw == pytest.approx(
+            estimate_power(ring_design_fixture, tech=tech).total_power_mw
+        )
+        assert area.total_area_mm2 == pytest.approx(
+            estimate_area(ring_design_fixture, tech=tech).total_area_mm2
+        )

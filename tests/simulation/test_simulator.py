@@ -37,6 +37,30 @@ class TestBasicRuns:
         assert simulator.network.flits_in_network() == 0
         assert stats.packets_in_flight == 0
 
+    def test_drain_exits_early_once_everything_delivered(self, simple_line_design):
+        """The drain phase must stop as soon as all in-flight packets are
+        delivered instead of spinning the full drain_cycles budget."""
+        simulator = Simulator(
+            simple_line_design, SimulationConfig(injection_scale=5.0, seed=0)
+        )
+        stats = simulator.run(max_cycles=200, drain_cycles=100_000)
+        assert simulator.network.undelivered_flits == 0
+        # A line design drains within a few route lengths, nowhere near the
+        # huge budget: early exit means only a handful of drain cycles ran.
+        assert stats.cycles_run < 200 + 1000
+
+    def test_undelivered_counter_matches_scans(self, simple_line_design):
+        """The O(1) counter equals the per-router scans at every boundary."""
+        simulator = Simulator(
+            simple_line_design, SimulationConfig(injection_scale=5.0, seed=0)
+        )
+        network = simulator.network
+        assert network.undelivered_flits == 0
+        simulator.run(max_cycles=50, drain=False)
+        assert network.undelivered_flits == (
+            network.flits_in_network() + network.flits_pending_injection()
+        )
+
     def test_no_drain_option(self, simple_line_design):
         simulator = Simulator(
             simple_line_design, SimulationConfig(injection_scale=5.0, seed=0)
