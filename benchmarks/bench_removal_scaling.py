@@ -222,7 +222,8 @@ def _report(data: dict) -> str:
         "  context reuse at largest point: graph reuses "
         f"{largest['routing_reuse']['graph_reuses']} (re-route probe), "
         f"route deltas {largest['context_reuse']['route_deltas']}, "
-        f"indexed cost tables {largest['context_reuse']['cost_tables_indexed']}"
+        f"indexed cost tables {largest['context_reuse']['cost_tables_indexed']}, "
+        f"forked contexts {largest['context_reuse']['contexts_forked']}"
     )
     return "\n".join(lines)
 
@@ -252,6 +253,11 @@ def _check(data: dict, threshold: float) -> List[str]:
             "the context removal engine did not exercise its indexed state "
             f"(route deltas {context_reuse['route_deltas']}, indexed cost "
             f"tables {context_reuse['cost_tables_indexed']})"
+        )
+    if context_reuse["contexts_forked"] <= 0:
+        failures.append(
+            "removal runs rebuilt the CDG index on every design.copy() "
+            "instead of forking the source context's index"
         )
     return failures
 

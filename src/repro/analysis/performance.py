@@ -3,19 +3,32 @@
 The paper's evaluation is about cost (VCs, power, area); a natural follow-up
 question — and the reason designers care about adding as few VCs as possible
 in the first place — is whether the protected design still performs.  This
-module runs the wormhole simulator over a range of injection scales and
-reports the classic latency-vs-offered-load curve, plus a convenience
-comparison of two designs (e.g. deadlock removal vs. resource ordering) at
-matched load points.
+module reports the classic latency-vs-offered-load curve.
+
+Since the compiled-simulation PR this is a *thin adapter* over the
+pluggable simulation stack: every point is measured by
+:func:`measure_load_point` through the
+:data:`repro.api.registry.simulation_engines` and
+:data:`~repro.api.registry.traffic_scenarios` registries (``sim_engine``
+and ``traffic_scenario`` select implementations by name), and the
+experiment API reuses the same helper for the cached, parallel
+``latency`` report (:mod:`repro.api.reports`) — prefer that report for
+sweeps over registry benchmarks; this module remains the library entry
+point for ad-hoc :class:`~repro.model.design.NocDesign` objects.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence
 
 from repro.model.design import NocDesign
-from repro.simulation.simulator import SimulationConfig, Simulator
+from repro.simulation.simulator import (
+    DEFAULT_SIMULATION_ENGINE,
+    SimulationConfig,
+    build_simulator,
+    verify_against_legacy,
+)
 
 
 @dataclass
@@ -67,6 +80,66 @@ class LoadSweep:
         ]
 
 
+def measure_load_point(
+    design: NocDesign,
+    *,
+    injection_scale: float,
+    max_cycles: int = 3000,
+    buffer_depth: int = 4,
+    seed: int = 0,
+    traffic_scenario: str = "flows",
+    scenario_params: Optional[Dict[str, Any]] = None,
+    sim_engine: str = DEFAULT_SIMULATION_ENGINE,
+    cross_check: bool = False,
+) -> Dict[str, Any]:
+    """Simulate one load point and return its metrics as a plain dictionary.
+
+    The single simulation entry point shared by :func:`load_latency_sweep`
+    and the experiment API's ``latency`` report, so a cached
+    :class:`~repro.api.result.RunResult` and a direct library call agree to
+    the last digit.  Deadlocks are recorded, never raised.
+    """
+    config = SimulationConfig(
+        injection_scale=injection_scale,
+        buffer_depth=buffer_depth,
+        seed=seed,
+        traffic_scenario=traffic_scenario,
+        scenario_params=dict(scenario_params or {}),
+    )
+    # Read the offered load from the engine's own generator instead of
+    # constructing a throwaway second one.
+    simulator = build_simulator(design, config, engine=sim_engine)
+    offered = simulator.generator.offered_flits_per_cycle
+    stats = simulator.run(max_cycles)
+    if cross_check and sim_engine != "legacy":
+        verify_against_legacy(design, config, stats, sim_engine, max_cycles=max_cycles)
+    return {
+        "injection_scale": injection_scale,
+        "offered_flits_per_cycle": offered,
+        "delivered_flits_per_cycle": stats.throughput_flits_per_cycle,
+        "average_latency": stats.average_latency,
+        "max_latency": stats.max_latency,
+        "packets_injected": stats.packets_injected,
+        "packets_delivered": stats.packets_delivered,
+        "flits_delivered": stats.flits_delivered,
+        "cycles_run": stats.cycles_run,
+        "deadlocked": stats.deadlock_detected,
+        "deadlock_cycle": stats.deadlock_cycle,
+    }
+
+
+def _load_point_from_metrics(metrics: Dict[str, Any]) -> LoadPoint:
+    return LoadPoint(
+        injection_scale=metrics["injection_scale"],
+        offered_flits_per_cycle=metrics["offered_flits_per_cycle"],
+        delivered_flits_per_cycle=metrics["delivered_flits_per_cycle"],
+        average_latency=metrics["average_latency"],
+        max_latency=metrics["max_latency"],
+        packets_delivered=metrics["packets_delivered"],
+        deadlocked=metrics["deadlocked"],
+    )
+
+
 def load_latency_sweep(
     design: NocDesign,
     *,
@@ -74,6 +147,9 @@ def load_latency_sweep(
     max_cycles: int = 3000,
     buffer_depth: int = 4,
     seed: int = 0,
+    traffic_scenario: str = "flows",
+    scenario_params: Optional[Dict[str, Any]] = None,
+    sim_engine: str = DEFAULT_SIMULATION_ENGINE,
 ) -> LoadSweep:
     """Simulate ``design`` at several injection scales and collect the curve.
 
@@ -82,24 +158,18 @@ def load_latency_sweep(
     """
     sweep = LoadSweep(design_name=design.name)
     for scale in injection_scales:
-        config = SimulationConfig(
-            injection_scale=scale, buffer_depth=buffer_depth, seed=seed
-        )
-        simulator = Simulator(design, config)
-        offered = sum(
-            rate * design.traffic.flow(name).packet_size_flits
-            for name, rate in simulator.generator.flow_rates.items()
-        )
-        stats = simulator.run(max_cycles)
         sweep.points.append(
-            LoadPoint(
-                injection_scale=scale,
-                offered_flits_per_cycle=offered,
-                delivered_flits_per_cycle=stats.throughput_flits_per_cycle,
-                average_latency=stats.average_latency,
-                max_latency=stats.max_latency,
-                packets_delivered=stats.packets_delivered,
-                deadlocked=stats.deadlock_detected,
+            _load_point_from_metrics(
+                measure_load_point(
+                    design,
+                    injection_scale=scale,
+                    max_cycles=max_cycles,
+                    buffer_depth=buffer_depth,
+                    seed=seed,
+                    traffic_scenario=traffic_scenario,
+                    scenario_params=scenario_params,
+                    sim_engine=sim_engine,
+                )
             )
         )
     return sweep
@@ -112,6 +182,9 @@ def compare_performance(
     max_cycles: int = 3000,
     buffer_depth: int = 4,
     seed: int = 0,
+    traffic_scenario: str = "flows",
+    scenario_params: Optional[Dict[str, Any]] = None,
+    sim_engine: str = DEFAULT_SIMULATION_ENGINE,
 ) -> Dict[str, LoadSweep]:
     """Run :func:`load_latency_sweep` for several named designs."""
     return {
@@ -121,6 +194,9 @@ def compare_performance(
             max_cycles=max_cycles,
             buffer_depth=buffer_depth,
             seed=seed,
+            traffic_scenario=traffic_scenario,
+            scenario_params=scenario_params,
+            sim_engine=sim_engine,
         )
         for label, design in designs.items()
     }

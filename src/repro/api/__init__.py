@@ -38,7 +38,9 @@ from repro.api.registry import (
     ordering_strategies,
     removal_engines,
     routing_engines,
+    simulation_engines,
     synthesis_backends,
+    traffic_scenarios,
 )
 from repro.api.result import RESULT_FORMAT_VERSION, RunResult
 from repro.api.spec import (
@@ -88,7 +90,9 @@ __all__ = [
     "routing_engines",
     "run_plan",
     "run_report",
+    "simulation_engines",
     "synthesis_backends",
+    "traffic_scenarios",
 ]
 
 

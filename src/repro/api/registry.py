@@ -138,3 +138,16 @@ synthesis_backends = Registry("synthesis backend", provider="repro.synthesis.bui
 #: search, and ``"legacy"``, the seed path-tuple search kept as the
 #: cross-check reference).
 routing_engines = Registry("routing engine", provider="repro.routing.shortest_path")
+
+#: Wormhole simulation engines (``"compiled"``, the int-indexed array
+#: simulator from :mod:`repro.perf.sim_engine` — the default — and
+#: ``"legacy"``, the seed object-per-flit :class:`repro.simulation.simulator
+#: .Simulator` kept as the cross-check reference).  The provider imports the
+#: legacy simulator module, so both built-ins register together.
+simulation_engines = Registry("simulation engine", provider="repro.perf.sim_engine")
+
+#: Traffic-scenario generators for the wormhole simulator (built-ins live in
+#: :mod:`repro.simulation.scenarios`: ``"flows"`` — the paper's
+#: bandwidth-proportional traffic — plus ``"uniform"``, ``"hotspot"``,
+#: ``"transpose"`` and ``"bursty"``; all seed-deterministic).
+traffic_scenarios = Registry("traffic scenario", provider="repro.simulation.scenarios")

@@ -50,11 +50,24 @@ FIGURE10_SWITCH_COUNT = 14
 report_types = Registry("report type")
 
 
+#: Injection scales of the default load–latency sweep.
+LATENCY_INJECTION_SCALES: List[float] = [0.25, 0.5, 0.75, 1.0, 1.5, 2.0]
+
+
 def _spec_params(params: Mapping[str, Any]) -> Dict[str, Any]:
     """RunSpec fields a report request may override (engine etc.)."""
     return {
         key: params[key]
-        for key in ("engine", "ordering_strategy", "synthesis_backend", "synthesis")
+        for key in (
+            "engine",
+            "ordering_strategy",
+            "synthesis_backend",
+            "synthesis",
+            "sim_engine",
+            "traffic_scenario",
+            "sim_cycles",
+            "buffer_depth",
+        )
         if key in params
     }
 
@@ -180,6 +193,85 @@ class _OverheadReport(_BenchmarkSetReport):
         }
 
 
+class _LatencyReport(ReportType):
+    """Load–latency curves of one benchmark point, per design variant.
+
+    One :class:`RunSpec` per injection scale, so every load point is an
+    independently cached, independently parallelisable artifact; the render
+    folds the per-spec simulation records into latency/throughput curves
+    for the unprotected, deadlock-removal and resource-ordering variants,
+    plus each variant's saturation scale (first deadlocked or
+    saturated point — deliveries below 80 % of offers).
+
+    Parameters: ``benchmark`` (default ``"D36_8"``), ``switch_count``
+    (default 14, the Figure 10 setting), ``injection_scales``, ``seed`` and
+    any simulation field (``sim_engine``, ``traffic_scenario``,
+    ``sim_cycles``, ``buffer_depth``).
+    """
+
+    def _benchmark(self, params: Mapping[str, Any]) -> str:
+        return params.get("benchmark", "D36_8")
+
+    def _switch_count(self, params: Mapping[str, Any]) -> int:
+        return params.get("switch_count", FIGURE10_SWITCH_COUNT)
+
+    def _scales(self, params: Mapping[str, Any]) -> List[float]:
+        return list(params.get("injection_scales", LATENCY_INJECTION_SCALES))
+
+    def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
+        seed = params.get("seed", 0)
+        extra = _spec_params(params)
+        return [
+            RunSpec(
+                benchmark=self._benchmark(params),
+                switch_count=self._switch_count(params),
+                seed=seed,
+                injection_scale=scale,
+                **extra,
+            )
+            for scale in self._scales(params)
+        ]
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        from repro.api.runner import SIMULATED_VARIANTS  # local: avoid import cycle
+
+        results = self._results(params, lookup)
+        scales = self._scales(params)
+        curves: Dict[str, Any] = {}
+        for variant in SIMULATED_VARIANTS:
+            metrics = [r.simulation["variants"][variant] for r in results]
+            saturation = None
+            for point in metrics:
+                offered = point["offered_flits_per_cycle"]
+                saturated = offered > 0 and (
+                    point["delivered_flits_per_cycle"] < 0.8 * offered
+                )
+                if point["deadlocked"] or saturated:
+                    saturation = point["injection_scale"]
+                    break
+            curves[variant] = {
+                "offered_flits_per_cycle": [m["offered_flits_per_cycle"] for m in metrics],
+                "delivered_flits_per_cycle": [
+                    m["delivered_flits_per_cycle"] for m in metrics
+                ],
+                "average_latency": [m["average_latency"] for m in metrics],
+                "max_latency": [m["max_latency"] for m in metrics],
+                "packets_delivered": [m["packets_delivered"] for m in metrics],
+                "deadlocked": [m["deadlocked"] for m in metrics],
+                "saturation_scale": saturation,
+            }
+        first = results[0].simulation if results else {}
+        return {
+            "benchmark": self._benchmark(params),
+            "switch_count": self._switch_count(params),
+            "injection_scales": scales,
+            "traffic_scenario": first.get("traffic_scenario", "flows"),
+            "sim_engine": first.get("engine", "compiled"),
+            "variants": curves,
+        }
+
+
+report_types.register("latency", _LatencyReport())
 report_types.register("figure8", _SwitchCountSweepReport("D26_media", FIGURE8_SWITCH_COUNTS))
 report_types.register("figure9", _SwitchCountSweepReport("D36_8", FIGURE9_SWITCH_COUNTS))
 report_types.register("figure10", _Figure10PowerReport())

@@ -14,7 +14,7 @@ run (JSON round-trips Python floats losslessly).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping
+from typing import Any, Dict, Mapping, Optional
 
 from repro.analysis.metrics import percent_reduction
 from repro.api.spec import RunSpec
@@ -41,6 +41,13 @@ class RunResult:
     unprotected_area_mm2: float
     removal_area_mm2: float
     ordering_area_mm2: float
+    #: Simulation metrics at the spec's load point, or ``None`` when the
+    #: spec requested no simulation (``injection_scale`` unset).  Shape:
+    #: ``{"engine", "traffic_scenario", "injection_scale", "sim_cycles",
+    #: "buffer_depth", "variants": {variant: {latency/throughput metrics}}}``
+    #: with one variants entry per design (``removal``, ``ordering``,
+    #: ``unprotected``).
+    simulation: Optional[Dict[str, Any]] = None
     #: True when this record was served from the artifact cache (runtime
     #: state, not part of the serialized schema).
     cache_hit: bool = field(default=False, compare=False)
@@ -115,8 +122,13 @@ class RunResult:
         }
 
     def to_dict(self) -> Dict[str, Any]:
-        """Serializable record (the artifact-cache ``"result"`` document)."""
-        return {
+        """Serializable record (the artifact-cache ``"result"`` document).
+
+        The ``simulation`` section is only present when the spec requested
+        one, so documents of cost-only specs stay byte-identical to the
+        previous schema.
+        """
+        document = {
             "format_version": RESULT_FORMAT_VERSION,
             "spec": self.spec.to_dict(),
             "removal_extra_vcs": self.removal_extra_vcs,
@@ -131,6 +143,9 @@ class RunResult:
             "removal_area_mm2": self.removal_area_mm2,
             "ordering_area_mm2": self.ordering_area_mm2,
         }
+        if self.simulation is not None:
+            document["simulation"] = self.simulation
+        return document
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunResult":
@@ -157,16 +172,27 @@ class RunResult:
                 unprotected_area_mm2=data["unprotected_area_mm2"],
                 removal_area_mm2=data["removal_area_mm2"],
                 ordering_area_mm2=data["ordering_area_mm2"],
+                simulation=data.get("simulation"),
             )
         except KeyError as exc:
             raise PlanError(f"run result document is missing field {exc}") from exc
 
+    def __post_init__(self):
+        if self.spec.injection_scale is not None and self.simulation is None:
+            raise PlanError(
+                "run result for a simulating spec (injection_scale="
+                f"{self.spec.injection_scale}) has no simulation section"
+            )
+
     # ------------------------------------------------------------------
     @classmethod
-    def from_comparison(cls, spec: RunSpec, comparison) -> "RunResult":
+    def from_comparison(
+        cls, spec: RunSpec, comparison, simulation: Optional[Dict[str, Any]] = None
+    ) -> "RunResult":
         """Reduce a :class:`~repro.analysis.experiments.MethodComparison`."""
         return cls(
             spec=spec,
+            simulation=simulation,
             removal_extra_vcs=comparison.removal_extra_vcs,
             ordering_extra_vcs=comparison.ordering_extra_vcs,
             removal_iterations=comparison.removal.iterations,

@@ -88,12 +88,55 @@ def execute_spec(spec: RunSpec, cache: Optional[ArtifactCache] = None) -> RunRes
         routing_engine=spec.routing_engine,
         unprotected=unprotected,
     )
-    result = RunResult.from_comparison(spec, comparison)
+    simulation = _simulate_spec(spec, comparison) if spec.injection_scale else None
+    result = RunResult.from_comparison(spec, comparison, simulation=simulation)
     if cache is not None:
         if unprotected is None:
             cache.put(DESIGN_KIND, design_key, design_to_dict(comparison.unprotected))
         cache.put(RESULT_KIND, spec.fingerprint(), result.to_dict())
     return result
+
+
+#: Design variants a simulating spec evaluates, in record order.
+SIMULATED_VARIANTS = ("unprotected", "removal", "ordering")
+
+
+def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
+    """Wormhole-simulate the comparison's designs at the spec's load point.
+
+    All three variants run with the same engine, scenario and seed (the
+    seed is :attr:`RunSpec.seed`, so repeated executions of one spec are
+    reproducible); deadlocks — expected for the unprotected variant under
+    pressure — are recorded in the metrics, never raised.
+    """
+    from repro.analysis.performance import measure_load_point  # local: lazy sim import
+
+    designs = {
+        "unprotected": comparison.unprotected,
+        "removal": comparison.removal.design,
+        "ordering": comparison.ordering.design,
+    }
+    variants = {
+        variant: measure_load_point(
+            designs[variant],
+            injection_scale=spec.injection_scale,
+            max_cycles=spec.sim_cycles,
+            buffer_depth=spec.buffer_depth,
+            seed=spec.seed,
+            traffic_scenario=spec.traffic_scenario,
+            sim_engine=spec.sim_engine,
+        )
+        for variant in SIMULATED_VARIANTS
+    }
+    return {
+        "engine": spec.sim_engine,
+        "traffic_scenario": spec.traffic_scenario,
+        "injection_scale": spec.injection_scale,
+        "sim_cycles": spec.sim_cycles,
+        "buffer_depth": spec.buffer_depth,
+        "seed": spec.seed,
+        "variants": variants,
+    }
 
 
 def _run_spec_task(task: Tuple[Dict[str, Any], Optional[str]]) -> RunResult:

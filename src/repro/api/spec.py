@@ -20,21 +20,26 @@ Plan schema (``format_version`` 1)::
       "defaults": {"seed": 0, "engine": "incremental"},
       "runs": [
         {"benchmark": "D26_media", "switch_counts": [5, 8, 11]},
-        {"benchmarks": ["D36_4", "D36_8"], "switch_count": 14, "seeds": [0, 1]}
+        {"benchmarks": ["D36_4", "D36_8"], "switch_count": 14, "seeds": [0, 1]},
+        {"benchmark": "D36_8", "switch_count": 14,
+         "injection_scales": [0.5, 1.0, 2.0], "traffic_scenario": "hotspot"}
       ],
       "reports": ["figure8", {"type": "figure9", "switch_counts": [10, 14]}]
     }
 
 Every run entry accepts the singular or plural form of ``benchmark``,
-``switch_count`` and ``seed`` plus any other :class:`RunSpec` field;
-omitted fields fall back to ``defaults`` and then to the RunSpec defaults.
+``switch_count``, ``seed`` and ``injection_scale`` plus any other
+:class:`RunSpec` field; omitted fields fall back to ``defaults`` and then
+to the RunSpec defaults.  Entries with an ``injection_scale`` additionally
+run the wormhole simulation at that load point (see
+:attr:`RunSpec.injection_scale`).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -53,6 +58,11 @@ _SPEC_FIELDS = (
     "synthesis_backend",
     "routing_engine",
     "synthesis",
+    "sim_engine",
+    "traffic_scenario",
+    "injection_scale",
+    "sim_cycles",
+    "buffer_depth",
 )
 
 
@@ -88,6 +98,23 @@ class RunSpec:
     synthesis:
         Extra keyword overrides for
         :class:`repro.synthesis.builder.SynthesisConfig`.
+    sim_engine:
+        Wormhole simulation engine
+        (``repro.api.registry.simulation_engines``); only exercised when
+        ``injection_scale`` requests a simulation.
+    traffic_scenario:
+        Traffic-scenario generator for the simulation
+        (``repro.api.registry.traffic_scenarios``).
+    injection_scale:
+        The load point: when set, the spec additionally simulates the
+        comparison's designs at this injection scale and records the
+        latency/throughput metrics in
+        :attr:`repro.api.result.RunResult.simulation`.  ``None`` (the
+        default) skips simulation entirely.
+    sim_cycles:
+        Injection cycles per simulation run.
+    buffer_depth:
+        Flit capacity of every VC input buffer during simulation.
     """
 
     benchmark: str
@@ -98,6 +125,11 @@ class RunSpec:
     synthesis_backend: str = "custom"
     routing_engine: str = "indexed"
     synthesis: Dict[str, Any] = field(default_factory=dict)
+    sim_engine: str = "compiled"
+    traffic_scenario: str = "flows"
+    injection_scale: Optional[float] = None
+    sim_cycles: int = 3000
+    buffer_depth: int = 4
 
     def __post_init__(self):
         if not isinstance(self.benchmark, str) or not self.benchmark:
@@ -108,18 +140,52 @@ class RunSpec:
             raise PlanError(f"switch_count must be positive, got {self.switch_count}")
         if not isinstance(self.seed, int) or isinstance(self.seed, bool):
             raise PlanError(f"seed must be an integer, got {self.seed!r}")
-        for name in ("engine", "ordering_strategy", "synthesis_backend", "routing_engine"):
+        for name in (
+            "engine",
+            "ordering_strategy",
+            "synthesis_backend",
+            "routing_engine",
+            "sim_engine",
+            "traffic_scenario",
+        ):
             value = getattr(self, name)
             if not isinstance(value, str) or not value:
                 raise PlanError(f"{name} must be a non-empty string, got {value!r}")
         if not isinstance(self.synthesis, dict):
             raise PlanError(f"synthesis overrides must be a mapping, got {self.synthesis!r}")
         self.synthesis = dict(self.synthesis)
+        if self.injection_scale is not None:
+            if isinstance(self.injection_scale, bool) or not isinstance(
+                self.injection_scale, (int, float)
+            ):
+                raise PlanError(
+                    f"injection_scale must be a number or null, got {self.injection_scale!r}"
+                )
+            if self.injection_scale <= 0:
+                raise PlanError(
+                    f"injection_scale must be positive, got {self.injection_scale}"
+                )
+            self.injection_scale = float(self.injection_scale)
+        if not isinstance(self.sim_cycles, int) or isinstance(self.sim_cycles, bool):
+            raise PlanError(f"sim_cycles must be an integer, got {self.sim_cycles!r}")
+        if self.sim_cycles < 1:
+            raise PlanError(f"sim_cycles must be positive, got {self.sim_cycles}")
+        if not isinstance(self.buffer_depth, int) or isinstance(self.buffer_depth, bool):
+            raise PlanError(f"buffer_depth must be an integer, got {self.buffer_depth!r}")
+        if self.buffer_depth < 1:
+            raise PlanError(f"buffer_depth must be at least 1, got {self.buffer_depth}")
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable form (all fields explicit, overrides copied)."""
-        return {
+        """JSON-serializable form (default-valued simulation fields elided).
+
+        The simulation-axis fields are serialized (and therefore
+        fingerprinted) only when they differ from their dataclass default,
+        so every cost-only spec keeps the exact content address it had
+        before the simulation axis existed — warm artifact caches stay
+        warm.
+        """
+        document = {
             "benchmark": self.benchmark,
             "switch_count": self.switch_count,
             "seed": self.seed,
@@ -129,6 +195,11 @@ class RunSpec:
             "routing_engine": self.routing_engine,
             "synthesis": dict(self.synthesis),
         }
+        for name, default in _SIM_FIELD_DEFAULTS:
+            value = getattr(self, name)
+            if value != default:
+                document[name] = value
+        return document
 
     @classmethod
     def from_dict(cls, data: Mapping[str, Any]) -> "RunSpec":
@@ -176,6 +247,24 @@ class RunSpec:
         )
 
 
+#: The simulation-axis fields with their dataclass defaults, derived from
+#: the :class:`RunSpec` field definitions so the to_dict elision can never
+#: drift from the actual defaults (a drift would silently re-address every
+#: cached spec).
+_SIM_AXIS_FIELDS = (
+    "sim_engine",
+    "traffic_scenario",
+    "injection_scale",
+    "sim_cycles",
+    "buffer_depth",
+)
+_SIM_FIELD_DEFAULTS = tuple(
+    (spec_field.name, spec_field.default)
+    for spec_field in fields(RunSpec)
+    if spec_field.name in _SIM_AXIS_FIELDS
+)
+
+
 # ----------------------------------------------------------------------
 # Grid expansion
 # ----------------------------------------------------------------------
@@ -201,9 +290,10 @@ def expand_run_entry(
 ) -> List[RunSpec]:
     """Expand one plan run entry (a possibly-gridded mapping) into specs.
 
-    ``benchmark(s)`` × ``switch_count(s)`` × ``seed(s)`` expand as a
-    cartesian product in deterministic order (benchmarks outermost, seeds
-    innermost); the remaining fields are merged over ``defaults``.
+    ``benchmark(s)`` × ``switch_count(s)`` × ``seed(s)`` ×
+    ``injection_scale(s)`` expand as a cartesian product in deterministic
+    order (benchmarks outermost, injection scales innermost); the remaining
+    fields are merged over ``defaults``.
     """
     if not isinstance(entry, Mapping):
         raise PlanError(f"run entry must be a mapping, got {type(entry).__name__}")
@@ -215,13 +305,23 @@ def expand_run_entry(
         ("benchmark", "benchmarks"),
         ("switch_count", "switch_counts"),
         ("seed", "seeds"),
+        ("injection_scale", "injection_scales"),
     ):
         if singular in entry or plural in entry:
             merged.pop(singular, None)
             merged.pop(plural, None)
     merged.update(entry)
 
-    axis_keys = {"benchmark", "benchmarks", "switch_count", "switch_counts", "seed", "seeds"}
+    axis_keys = {
+        "benchmark",
+        "benchmarks",
+        "switch_count",
+        "switch_counts",
+        "seed",
+        "seeds",
+        "injection_scale",
+        "injection_scales",
+    }
     unknown = set(merged) - axis_keys - set(_SPEC_FIELDS)
     if unknown:
         raise PlanError(
@@ -231,6 +331,10 @@ def expand_run_entry(
     benchmarks = _axis_values(merged, "benchmark", "benchmarks", None)
     switch_counts = _axis_values(merged, "switch_count", "switch_counts", None)
     seeds = _axis_values(merged, "seed", "seeds", 0)
+    if "injection_scale" in merged or "injection_scales" in merged:
+        scales = _axis_values(merged, "injection_scale", "injection_scales", None)
+    else:
+        scales = [None]
 
     common = {
         key: merged[key]
@@ -240,6 +344,10 @@ def expand_run_entry(
             "synthesis_backend",
             "routing_engine",
             "synthesis",
+            "sim_engine",
+            "traffic_scenario",
+            "sim_cycles",
+            "buffer_depth",
         )
         if key in merged
     }
@@ -247,9 +355,16 @@ def expand_run_entry(
     for benchmark in benchmarks:
         for count in switch_counts:
             for seed in seeds:
-                specs.append(
-                    RunSpec(benchmark=benchmark, switch_count=count, seed=seed, **common)
-                )
+                for scale in scales:
+                    specs.append(
+                        RunSpec(
+                            benchmark=benchmark,
+                            switch_count=count,
+                            seed=seed,
+                            injection_scale=scale,
+                            **common,
+                        )
+                    )
     return specs
 
 

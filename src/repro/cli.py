@@ -25,7 +25,13 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
-from repro.api.registry import ordering_strategies, removal_engines, routing_engines
+from repro.api.registry import (
+    ordering_strategies,
+    removal_engines,
+    routing_engines,
+    simulation_engines,
+    traffic_scenarios,
+)
 from repro.api.reports import run_report
 from repro.api.runner import Runner, default_cache_dir
 from repro.api.spec import ExperimentPlan
@@ -106,8 +112,15 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         injection_scale=args.injection_scale,
         buffer_depth=args.buffer_depth,
         seed=args.seed,
+        traffic_scenario=args.traffic_scenario,
     )
-    stats = simulate_design(design, max_cycles=args.cycles, config=config)
+    stats = simulate_design(
+        design,
+        max_cycles=args.cycles,
+        config=config,
+        engine=args.engine,
+        cross_check=args.cross_check,
+    )
     print(stats.summary())
     return 1 if stats.deadlock_detected else 0
 
@@ -240,6 +253,24 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--injection-scale", type=float, default=1.0)
     p.add_argument("--buffer-depth", type=int, default=4)
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument(
+        "--engine",
+        choices=simulation_engines.names(),
+        default="compiled",
+        help="simulation engine (default: compiled)",
+    )
+    p.add_argument(
+        "--traffic-scenario",
+        choices=traffic_scenarios.names(),
+        default="flows",
+        help="traffic scenario (default: flows, the design's own traffic)",
+    )
+    p.add_argument(
+        "--cross-check",
+        action="store_true",
+        help="also run the legacy engine and fail on any statistics "
+        "divergence (slow; debugging aid)",
+    )
     p.set_defaults(func=_cmd_simulate)
 
     p = sub.add_parser("export", help="export a design as Graphviz DOT or a text report")

@@ -155,14 +155,26 @@ class NocDesign:
     # ------------------------------------------------------------------
     def copy(self, name: Optional[str] = None) -> "NocDesign":
         """Deep-enough copy: topology and routes are copied, traffic shared
-        structure is copied, flows themselves are immutable."""
-        return NocDesign(
+        structure is copied, flows themselves are immutable.
+
+        When a :class:`~repro.perf.design_context.DesignContext` with a
+        synchronised CDG index is attached to this design, the copy's
+        context is seeded from a clone of it (the link sets of a fresh copy
+        are equal by construction), so a removal run on the copy skips the
+        from-scratch index rebuild.  The fork is duck-typed through the
+        attached object to keep the model layer free of perf imports.
+        """
+        clone = NocDesign(
             name=name or self.name,
             topology=self.topology.copy(),
             traffic=self.traffic.copy(),
             core_map=dict(self.core_map),
             routes=self.routes.copy(),
         )
+        context = self.__dict__.get("_design_context")
+        if context is not None:
+            context.fork_to(clone)
+        return clone
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -61,6 +61,15 @@ def validate_routes(design: NocDesign, require_all: bool = True) -> List[str]:
                 problems.append(f"flow {flow.name!r} has no route")
             continue
         route = design.routes.route(flow.name)
+        # One pass per route: channel validity, contiguity (designs can
+        # arrive through serialization or tools that bypass the Route
+        # constructor) and duplicate-channel detection share the same walk —
+        # validate_design brackets every removal run, so the route walk is
+        # on a hot path and must not be paid three times per flow.
+        previous = None
+        contiguity_reported = False
+        duplicate_reported = False
+        seen = set()
         for channel in route:
             if not topology.has_link(channel.link):
                 problems.append(
@@ -72,6 +81,26 @@ def validate_routes(design: NocDesign, require_all: bool = True) -> List[str]:
                     f"{channel.link.name} but the link only has "
                     f"{topology.vc_count(channel.link)} VC(s)"
                 )
+            if (
+                previous is not None
+                and not contiguity_reported
+                and not channels_are_adjacent(previous, channel)
+            ):
+                problems.append(
+                    f"flow {flow.name!r}: route is not contiguous — "
+                    f"{previous.name} is followed by {channel.name} but "
+                    f"{previous.dst!r} != {channel.src!r}"
+                )
+                contiguity_reported = True
+            previous = channel
+            if not duplicate_reported:
+                if channel in seen:
+                    problems.append(
+                        f"flow {flow.name!r}: route traverses channel {channel.name} twice"
+                    )
+                    duplicate_reported = True
+                else:
+                    seen.add(channel)
         src_switch = design.core_map.get(flow.src)
         dst_switch = design.core_map.get(flow.dst)
         if src_switch is not None and route.source_switch != src_switch:
@@ -84,26 +113,6 @@ def validate_routes(design: NocDesign, require_all: bool = True) -> List[str]:
                 f"flow {flow.name!r}: route ends at {route.destination_switch!r} but the "
                 f"destination core {flow.dst!r} is attached to {dst_switch!r}"
             )
-        for first, second in zip(route, route[1:]):
-            # Route.__init__ enforces contiguity, but designs can arrive
-            # through serialization or tools that bypass the constructor;
-            # a route whose consecutive channels do not connect must never
-            # slip through whole-design validation.
-            if not channels_are_adjacent(first, second):
-                problems.append(
-                    f"flow {flow.name!r}: route is not contiguous — "
-                    f"{first.name} is followed by {second.name} but "
-                    f"{first.dst!r} != {second.src!r}"
-                )
-                break
-        seen = set()
-        for channel in route:
-            if channel in seen:
-                problems.append(
-                    f"flow {flow.name!r}: route traverses channel {channel.name} twice"
-                )
-                break
-            seen.add(channel)
     for flow_name in design.routes.flow_names:
         if not design.traffic.has_flow(flow_name):
             problems.append(f"route defined for unknown flow {flow_name!r}")

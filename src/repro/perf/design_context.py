@@ -64,6 +64,7 @@ class ContextCounters:
     """
 
     contexts_created: int = 0
+    contexts_forked: int = 0
     graph_builds: int = 0
     graph_reuses: int = 0
     graph_deltas: int = 0
@@ -71,6 +72,8 @@ class ContextCounters:
     updown_reuses: int = 0
     route_deltas: int = 0
     cost_tables_indexed: int = 0
+    sim_template_builds: int = 0
+    sim_template_reuses: int = 0
 
     def reset(self) -> None:
         """Zero every counter (one measurement window begins)."""
@@ -108,6 +111,8 @@ class DesignContext:
         self._cdg_routes_version: int = -1
         self._route_ids: Dict[str, Tuple[int, ...]] = {}
         self._cost_engine: Optional[CycleCostEngine] = None
+        # --- compiled-simulation template (set by repro.perf.sim_engine) --
+        self.sim_template = None
 
     # ------------------------------------------------------------------
     # lifecycle
@@ -125,6 +130,38 @@ class DesignContext:
             context = cls(design)
             setattr(design, _CONTEXT_ATTR, context)
         return context
+
+    def fork_to(self, clone_design: NocDesign) -> Optional["DesignContext"]:
+        """Seed a fresh context for an identical copy of this design.
+
+        Called by :meth:`repro.model.design.NocDesign.copy`: when the link
+        sets are equal and this context holds a CDG index synchronised to
+        the source's current routes (which the copy replicates verbatim),
+        the copy's context starts from a *cloned* index + id arrays instead
+        of rebuilding them from the route set — the per-run rebuild the
+        removal engine used to pay on every ``design.copy()``.  Any doubt
+        (diverged links, unsynchronised or unbuilt index) returns ``None``
+        and the copy lazily builds its own state as before.
+
+        The clone is deep (:meth:`CDGIndex.clone`), so removal mutations on
+        the copy never leak back into this context.
+        """
+        if self._cdg is None or self._cdg_routes_version != self.design.routes.version:
+            return None
+        if self.design.topology._links != clone_design.topology._links:
+            return None
+        if len(self.design.routes) != len(clone_design.routes):
+            # Cheap sanity token only: the caller contract (copy()) makes the
+            # route sets identical, and a deep per-channel comparison here
+            # would cancel part of the rebuild savings on the hot path.
+            return None
+        forked = DesignContext(clone_design)
+        forked._cdg = self._cdg.clone()
+        forked._route_ids = dict(self._route_ids)
+        forked._cdg_routes_version = clone_design.routes.version
+        setattr(clone_design, _CONTEXT_ATTR, forked)
+        counters.contexts_forked += 1
+        return forked
 
     # ------------------------------------------------------------------
     # switch graph

@@ -6,9 +6,36 @@ with per-VC input buffers, credit-based wormhole flow control, source
 routing and a deadlock detector.  Designs whose CDG contains cycles do
 deadlock under pressure; the same designs after
 :func:`repro.core.removal.remove_deadlocks` (or resource ordering) do not.
+
+Simulation engines are pluggable
+(:data:`repro.api.registry.simulation_engines`): ``"compiled"`` — the
+int-indexed array engine from :mod:`repro.perf.sim_engine`, the default —
+and ``"legacy"``, this package's object-per-flit :class:`Simulator`, kept
+as the cross-check reference.  Traffic patterns are pluggable too
+(:data:`repro.api.registry.traffic_scenarios`; built-ins in
+:mod:`repro.simulation.scenarios`).
 """
 
-from repro.simulation.simulator import SimulationConfig, Simulator, simulate_design
+from repro.simulation.simulator import (
+    DEFAULT_SIMULATION_ENGINE,
+    SimulationConfig,
+    Simulator,
+    build_simulator,
+    make_traffic_generator,
+    simulate_design,
+    stats_divergences,
+)
 from repro.simulation.stats import SimulationStats
+from repro.simulation.traffic_gen import FlowTrafficGenerator
 
-__all__ = ["Simulator", "SimulationConfig", "simulate_design", "SimulationStats"]
+__all__ = [
+    "DEFAULT_SIMULATION_ENGINE",
+    "FlowTrafficGenerator",
+    "Simulator",
+    "SimulationConfig",
+    "build_simulator",
+    "make_traffic_generator",
+    "simulate_design",
+    "SimulationStats",
+    "stats_divergences",
+]

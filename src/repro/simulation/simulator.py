@@ -12,21 +12,41 @@ Typical use::
 Deadlocks are reported in the returned statistics; pass
 ``raise_on_deadlock=True`` to get a :class:`repro.errors.DeadlockDetected`
 exception instead (useful in tests of designs that must be deadlock free).
+
+Two interchangeable engines drive a run, looked up by name in the
+pluggable :data:`repro.api.registry.simulation_engines` registry:
+
+* ``"compiled"`` (default) — :class:`repro.perf.sim_engine.CompiledSimulator`,
+  an int-indexed array simulator whose per-cycle sweep iterates flat
+  arrays instead of router/buffer objects;
+* ``"legacy"`` — :class:`Simulator` below, the seed object-per-flit
+  implementation kept as the cross-check reference.
+
+Both produce field-identical :class:`~repro.simulation.stats
+.SimulationStats`; ``simulate_design(..., cross_check=True)`` runs both
+and raises on any divergence.  Traffic comes from the
+:data:`repro.api.registry.traffic_scenarios` registry
+(:attr:`SimulationConfig.traffic_scenario`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Optional
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
 
-from repro.errors import DeadlockDetected
+from repro.api.registry import simulation_engines, traffic_scenarios
+from repro.errors import DeadlockDetected, SimulationError
 from repro.model.design import NocDesign
 from repro.model.validation import validate_design
 from repro.power.orion import TechnologyParameters
 from repro.simulation.deadlock import DeadlockMonitor
 from repro.simulation.network import WormholeNetwork
 from repro.simulation.stats import SimulationStats
-from repro.simulation.traffic_gen import FlowTrafficGenerator
+
+ENGINE_COMPILED = "compiled"
+ENGINE_LEGACY = "legacy"
+#: Engine used when callers do not choose one explicitly.
+DEFAULT_SIMULATION_ENGINE = ENGINE_COMPILED
 
 
 @dataclass
@@ -48,6 +68,12 @@ class SimulationConfig:
     tech:
         Technology parameters (channel capacity used to convert bandwidths
         into injection rates).
+    traffic_scenario:
+        Name in :data:`repro.api.registry.traffic_scenarios` (``"flows"``
+        is the paper's bandwidth-proportional traffic).
+    scenario_params:
+        Extra keyword arguments for the scenario's generator factory
+        (e.g. ``{"factor": 8.0}`` for ``hotspot``).
     """
 
     buffer_depth: int = 4
@@ -55,25 +81,42 @@ class SimulationConfig:
     watchdog_cycles: int = 200
     seed: int = 0
     tech: TechnologyParameters = TechnologyParameters()
+    traffic_scenario: str = "flows"
+    scenario_params: Dict[str, Any] = field(default_factory=dict)
+
+
+def make_traffic_generator(design: NocDesign, config: SimulationConfig):
+    """The configured scenario's packet generator for ``design``.
+
+    Both simulation engines build their generator through this helper, so a
+    cross-checked pair of runs consumes identical packet sequences.
+    """
+    factory = traffic_scenarios.get(config.traffic_scenario)
+    return factory(
+        design,
+        injection_scale=config.injection_scale,
+        tech=config.tech,
+        seed=config.seed,
+        **config.scenario_params,
+    )
 
 
 class Simulator:
-    """Flit-level wormhole simulation of one design."""
+    """Flit-level wormhole simulation of one design (the seed engine)."""
 
     def __init__(self, design: NocDesign, config: Optional[SimulationConfig] = None):
         self.config = config or SimulationConfig()
         validate_design(design)
         self.design = design
-        self.network = WormholeNetwork(design, buffer_depth=self.config.buffer_depth)
-        self.generator = FlowTrafficGenerator(
-            design,
-            injection_scale=self.config.injection_scale,
-            tech=self.config.tech,
-            seed=self.config.seed,
-        )
+        self.network = self._build_network(design)
+        self.generator = make_traffic_generator(design, self.config)
         self.stats = SimulationStats(design_name=design.name)
         self.monitor = DeadlockMonitor(watchdog_cycles=self.config.watchdog_cycles)
         self._cycle = 0
+
+    def _build_network(self, design: NocDesign):
+        """Network-state factory — the only hook engine subclasses override."""
+        return WormholeNetwork(design, buffer_depth=self.config.buffer_depth)
 
     # ------------------------------------------------------------------
     def _inject_new_packets(self, cycle: int) -> None:
@@ -139,13 +182,80 @@ class Simulator:
         return self.stats
 
 
+simulation_engines.register(ENGINE_LEGACY, Simulator)
+
+
+def stats_divergences(mine: SimulationStats, theirs: SimulationStats) -> list:
+    """Field-by-field comparison of two runs' statistics.
+
+    The single comparison the ``cross_check`` flag, the equivalence tests
+    and the simulation benchmark all share — one place to extend if
+    :class:`SimulationStats` ever gains a field needing special handling.
+    """
+    problems = []
+    for name in SimulationStats.__dataclass_fields__:
+        a, b = getattr(mine, name), getattr(theirs, name)
+        if a != b:
+            shown_a = a if not isinstance(a, (list, dict)) else f"<{len(a)} entries>"
+            shown_b = b if not isinstance(b, (list, dict)) else f"<{len(b)} entries>"
+            problems.append(f"{name}: {shown_a!r} != {shown_b!r}")
+    return problems
+
+
+def build_simulator(
+    design: NocDesign,
+    config: Optional[SimulationConfig] = None,
+    *,
+    engine: str = DEFAULT_SIMULATION_ENGINE,
+):
+    """Instantiate the named engine's simulator for ``design``."""
+    return simulation_engines.get(engine)(design, config or SimulationConfig())
+
+
+def verify_against_legacy(
+    design: NocDesign,
+    config: SimulationConfig,
+    stats: SimulationStats,
+    engine: str,
+    **run_kwargs,
+) -> None:
+    """Re-run the legacy reference engine and raise on any stats divergence."""
+    reference = Simulator(design, config).run(**run_kwargs)
+    problems = stats_divergences(stats, reference)
+    if problems:
+        shown = "; ".join(problems[:5])
+        extra = "" if len(problems) <= 5 else f" (+{len(problems) - 5} more)"
+        raise SimulationError(
+            f"simulation engine {engine!r} diverged from the legacy "
+            f"reference: {shown}{extra}"
+        )
+
+
 def simulate_design(
     design: NocDesign,
     *,
     max_cycles: int = 10_000,
     config: Optional[SimulationConfig] = None,
     raise_on_deadlock: bool = False,
+    engine: str = DEFAULT_SIMULATION_ENGINE,
+    cross_check: bool = False,
+    drain: bool = True,
+    drain_cycles: int = 5_000,
 ) -> SimulationStats:
-    """One-call convenience wrapper around :class:`Simulator`."""
-    simulator = Simulator(design, config)
-    return simulator.run(max_cycles, raise_on_deadlock=raise_on_deadlock)
+    """One-call convenience wrapper around the pluggable simulation engines.
+
+    ``engine`` names an entry of
+    :data:`repro.api.registry.simulation_engines`; ``cross_check=True``
+    additionally runs the reference ``"legacy"`` engine with an identical
+    fresh configuration and raises :class:`~repro.errors.SimulationError`
+    when any :class:`SimulationStats` field diverges.
+    """
+    config = config or SimulationConfig()
+    simulator = build_simulator(design, config, engine=engine)
+    run_kwargs = dict(
+        drain=drain, drain_cycles=drain_cycles, raise_on_deadlock=raise_on_deadlock
+    )
+    stats = simulator.run(max_cycles, **run_kwargs)
+    if cross_check and engine != ENGINE_LEGACY:
+        verify_against_legacy(design, config, stats, engine, max_cycles=max_cycles, **run_kwargs)
+    return stats

@@ -5,6 +5,15 @@ from the flow's bandwidth relative to the channel capacity of the
 technology operating point, multiplied by a global ``injection_scale`` the
 experiments use to push a design towards or beyond saturation (deadlocks in
 cyclic designs only manifest under enough pressure).
+
+:class:`FlowTrafficGenerator` is the paper's traffic (the ``"flows"``
+scenario); :mod:`repro.simulation.scenarios` subclasses it with alternative
+spatial and temporal injection patterns (uniform, hotspot, transpose,
+bursty), all registered in the pluggable
+:data:`repro.api.registry.traffic_scenarios` registry.  All generators draw
+exclusively from one :class:`random.Random` seeded with an explicit
+``seed`` (threaded from :attr:`repro.api.spec.RunSpec.seed` by the
+experiment API), so repeated simulations of the same spec are reproducible.
 """
 
 from __future__ import annotations
@@ -31,8 +40,14 @@ class FlowTrafficGenerator:
     tech:
         Technology parameters (channel capacity).
     seed:
-        Seed of the Bernoulli draws — simulations are reproducible.
+        Seed of the Bernoulli draws — simulations are reproducible.  Every
+        random decision of a generator comes from the instance RNG this
+        seeds (never module-level randomness), so two generators built with
+        the same arguments emit identical packet sequences.
     """
+
+    #: Scenario name this generator is registered under.
+    scenario = "flows"
 
     def __init__(
         self,
@@ -45,31 +60,74 @@ class FlowTrafficGenerator:
         self.design = design
         self.tech = tech or TechnologyParameters()
         self.injection_scale = injection_scale
+        self.seed = seed
         self._rng = random.Random(seed)
         self._next_packet_id = 0
-        self._rates: Dict[str, float] = {}
-        capacity = self.tech.link_capacity_mbps
+        self._rates: Dict[str, float] = self._compute_rates()
+        self._flow_order: List[str] = sorted(self._rates)
+
+    # ------------------------------------------------------------------
+    def _eligible_flows(self) -> List[str]:
+        """Flows that inject traffic: routed ones plus same-switch locals."""
+        design = self.design
+        names: List[str] = []
         for flow in design.traffic.flows:
             if not design.routes.has_route(flow.name):
                 # Flows between cores on the same switch never enter the
                 # network but still inject traffic through the local NI.
                 if design.switch_of(flow.src) != design.switch_of(flow.dst):
                     continue
-            packets_per_cycle = (
-                flow.bandwidth * injection_scale / (capacity * flow.packet_size_flits)
-            )
-            self._rates[flow.name] = min(packets_per_cycle, 1.0)
+            names.append(flow.name)
+        return names
 
+    def _compute_rates(self) -> Dict[str, float]:
+        """Per-flow packet injection probabilities (the scenario hook).
+
+        The base implementation is the paper's traffic: every flow's rate is
+        proportional to its nominal bandwidth.  Scenario subclasses override
+        this to redistribute the offered load spatially; the Bernoulli
+        sampling in :meth:`generate` is shared.
+        """
+        capacity = self.tech.link_capacity_mbps
+        rates: Dict[str, float] = {}
+        for name in self._eligible_flows():
+            flow = self.design.traffic.flow(name)
+            packets_per_cycle = (
+                flow.bandwidth * self.injection_scale
+                / (capacity * flow.packet_size_flits)
+            )
+            rates[name] = min(packets_per_cycle, 1.0)
+        return rates
+
+    # ------------------------------------------------------------------
     @property
     def flow_rates(self) -> Dict[str, float]:
         """Per-flow packet injection probabilities per cycle (copy)."""
         return dict(self._rates)
 
+    @property
+    def offered_flits_per_cycle(self) -> float:
+        """Aggregate offered load: expected injected flits per cycle."""
+        traffic = self.design.traffic
+        return sum(
+            rate * traffic.flow(name).packet_size_flits
+            for name, rate in self._rates.items()
+        )
+
+    def _injects(self, flow_name: str) -> bool:
+        """One Bernoulli draw: does ``flow_name`` inject a packet this cycle?
+
+        Temporal scenarios (e.g. bursty on/off modulation) override this;
+        the draw order over flows is fixed by :meth:`generate`, so every
+        override stays seed-deterministic.
+        """
+        return self._rng.random() < self._rates[flow_name]
+
     def generate(self, cycle: int) -> List[Packet]:
         """Packets created at ``cycle`` (possibly empty), in flow-name order."""
         packets: List[Packet] = []
-        for flow_name in sorted(self._rates):
-            if self._rng.random() >= self._rates[flow_name]:
+        for flow_name in self._flow_order:
+            if not self._injects(flow_name):
                 continue
             flow = self.design.traffic.flow(flow_name)
             if self.design.routes.has_route(flow_name):

@@ -1,0 +1,212 @@
+"""The compiled simulation engine reproduces the legacy engine exactly.
+
+``CompiledSimulator`` must produce **field-identical**
+:class:`~repro.simulation.stats.SimulationStats` to the seed object-per-flit
+``Simulator`` — delivered flits and packets, the full latency list (order
+included), per-channel busy cycles, and the deadlock verdict with the exact
+channels on the wait cycle.  The suite sweeps hand-built fixtures, a
+hypothesis grid of topology families x scenarios x loads (saturating ones
+included), and the SoC benchmarks, and pins the O(1) undelivered-flit
+counter of the compiled network to a full state walk.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.api.registry import simulation_engines, traffic_scenarios
+from repro.core.removal import remove_deadlocks
+from repro.errors import SimulationError
+from repro.examples_data.paper_ring import paper_ring_design
+from repro.perf.design_context import counters
+from repro.perf.sim_engine import CompiledNetwork, CompiledSimulator, SimulationTemplate
+from repro.simulation.simulator import SimulationConfig, Simulator, simulate_design
+from repro.simulation.stats import SimulationStats
+from repro.synthesis.regular import mesh_design, ring_design
+
+SCENARIOS = ("flows", "uniform", "hotspot", "transpose", "bursty")
+
+
+def _run_both(design, config, max_cycles):
+    legacy = Simulator(design, config).run(max_cycles)
+    compiled = CompiledSimulator(design, config).run(max_cycles)
+    return legacy, compiled
+
+
+def assert_stats_identical(legacy: SimulationStats, compiled: SimulationStats):
+    for name in SimulationStats.__dataclass_fields__:
+        assert getattr(compiled, name) == getattr(legacy, name), name
+
+
+class TestRegistry:
+    def test_both_engines_registered(self):
+        assert set(simulation_engines.names()) >= {"compiled", "legacy"}
+
+    def test_all_scenarios_registered(self):
+        assert set(traffic_scenarios.names()) >= set(SCENARIOS)
+
+
+class TestFixtureEquivalence:
+    @pytest.mark.parametrize("scenario", SCENARIOS)
+    def test_mesh_all_scenarios(self, scenario):
+        design = mesh_design(3, 3)
+        config = SimulationConfig(
+            injection_scale=3.0, seed=2, traffic_scenario=scenario
+        )
+        legacy, compiled = _run_both(design, config, 600)
+        assert_stats_identical(legacy, compiled)
+        assert compiled.packets_delivered > 0
+
+    def test_deadlock_verdict_and_channels_identical(self):
+        """An unprotected ring under pressure deadlocks identically."""
+        design = paper_ring_design()
+        config = SimulationConfig(injection_scale=6.0, buffer_depth=2, seed=1)
+        legacy, compiled = _run_both(design, config, 4000)
+        assert legacy.deadlock_detected
+        assert_stats_identical(legacy, compiled)
+        assert compiled.deadlocked_channels == legacy.deadlocked_channels
+        assert compiled.deadlock_cycle == legacy.deadlock_cycle
+
+    def test_protected_ring_survives_in_both(self):
+        design = remove_deadlocks(paper_ring_design()).design
+        config = SimulationConfig(injection_scale=6.0, buffer_depth=2, seed=1)
+        legacy, compiled = _run_both(design, config, 4000)
+        assert not compiled.deadlock_detected
+        assert_stats_identical(legacy, compiled)
+
+    def test_local_delivery_only_design(self, simple_line_design):
+        config = SimulationConfig(injection_scale=2.0, seed=0)
+        legacy, compiled = _run_both(simple_line_design, config, 400)
+        assert_stats_identical(legacy, compiled)
+
+
+class TestHypothesisEquivalence:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        family=st.sampled_from(["ring", "biring", "mesh", "paper", "protected_ring"]),
+        size=st.integers(min_value=4, max_value=7),
+        scale=st.sampled_from([0.5, 1.5, 4.0, 8.0]),
+        depth=st.integers(min_value=1, max_value=4),
+        seed=st.integers(min_value=0, max_value=5),
+        scenario=st.sampled_from(SCENARIOS),
+    )
+    def test_random_runs_identical(self, family, size, scale, depth, seed, scenario):
+        if family == "ring":
+            design = ring_design(size)
+        elif family == "biring":
+            design = ring_design(size, bidirectional=True)
+        elif family == "mesh":
+            design = mesh_design(2, size - 2)
+        elif family == "protected_ring":
+            design = remove_deadlocks(ring_design(size)).design
+        else:
+            design = paper_ring_design()
+        config = SimulationConfig(
+            injection_scale=scale,
+            buffer_depth=depth,
+            seed=seed,
+            traffic_scenario=scenario,
+        )
+        legacy, compiled = _run_both(design, config, 500)
+        assert_stats_identical(legacy, compiled)
+
+
+class TestCrossCheckFlag:
+    def test_cross_check_passes_on_benchmark_design(self, d36_8_design_14sw):
+        design = remove_deadlocks(d36_8_design_14sw).design
+        stats = simulate_design(
+            design,
+            max_cycles=300,
+            config=SimulationConfig(injection_scale=2.0, seed=0),
+            engine="compiled",
+            cross_check=True,
+        )
+        assert stats.packets_delivered > 0
+
+    def test_cross_check_raises_on_divergence(self, small_mesh_design, monkeypatch):
+        """A rigged compiled engine must be caught by the stats comparison."""
+        original = CompiledSimulator.run
+
+        def rigged(self, max_cycles=10_000, **kwargs):
+            stats = original(self, max_cycles, **kwargs)
+            stats.flits_delivered += 1
+            return stats
+
+        monkeypatch.setattr(CompiledSimulator, "run", rigged)
+        with pytest.raises(SimulationError, match="diverged"):
+            simulate_design(
+                small_mesh_design,
+                max_cycles=200,
+                config=SimulationConfig(injection_scale=2.0),
+                engine="compiled",
+                cross_check=True,
+            )
+
+
+class TestCompiledNetworkAccounting:
+    def _drive(self, design, config, cycles):
+        simulator = CompiledSimulator(design, config)
+        network = simulator.network
+        for cycle in range(cycles):
+            simulator._inject_new_packets(cycle)
+            network.step(cycle, simulator.stats)
+            # The O(1) counters must agree with a full walk at every cycle.
+            buffered, pending = network.count_flits_by_walk()
+            assert network.flits_in_network() == buffered
+            assert network.flits_pending_injection() == pending
+            assert network.undelivered_flits == buffered + pending
+        return network
+
+    def test_undelivered_flits_matches_full_walk(self):
+        design = mesh_design(3, 3)
+        config = SimulationConfig(injection_scale=4.0, buffer_depth=2, seed=3)
+        self._drive(design, config, 300)
+
+    def test_undelivered_flits_matches_walk_under_deadlock(self):
+        design = paper_ring_design()
+        config = SimulationConfig(injection_scale=8.0, buffer_depth=2, seed=1)
+        self._drive(design, config, 500)
+
+    def test_undelivered_reaches_zero_after_drain(self, small_mesh_design):
+        config = SimulationConfig(injection_scale=1.0, seed=0)
+        simulator = CompiledSimulator(small_mesh_design, config)
+        simulator.run(300)
+        buffered, pending = simulator.network.count_flits_by_walk()
+        assert simulator.network.undelivered_flits == buffered + pending == 0
+
+    def test_inject_unrouted_flow_raises(self, small_mesh_design):
+        from repro.simulation.flit import Packet
+
+        design = small_mesh_design.copy()
+        victim = next(
+            flow.name
+            for flow in design.traffic.flows
+            if design.switch_of(flow.src) != design.switch_of(flow.dst)
+        )
+        design.routes.remove_route(victim)
+        network = CompiledNetwork(design)
+        packet = Packet(
+            packet_id=0, flow_name=victim, route=(), size_flits=2, created_cycle=0
+        )
+        with pytest.raises(SimulationError, match="no injection queue"):
+            network.inject(packet)
+
+
+class TestTemplateCache:
+    def test_template_reused_across_runs(self, small_mesh_design):
+        counters.reset()
+        config = SimulationConfig(injection_scale=1.0)
+        CompiledSimulator(small_mesh_design, config).run(50)
+        CompiledSimulator(small_mesh_design, config).run(50)
+        assert counters.sim_template_builds == 1
+        assert counters.sim_template_reuses >= 1
+
+    def test_template_rebuilt_after_route_change(self, small_ring_design):
+        SimulationTemplate.of(small_ring_design)
+        protected = remove_deadlocks(small_ring_design, in_place=True).design
+        fresh = SimulationTemplate.of(protected)
+        assert fresh.routes_version == protected.routes.version
+        # The stale template must not have been served.
+        assert fresh.channel_count == protected.topology.channel_count
