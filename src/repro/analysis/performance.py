@@ -23,6 +23,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.model.design import NocDesign
+from repro.simulation.events import EventSchedule
 from repro.simulation.simulator import (
     DEFAULT_SIMULATION_ENGINE,
     SimulationConfig,
@@ -91,6 +92,7 @@ def measure_load_point(
     scenario_params: Optional[Dict[str, Any]] = None,
     sim_engine: str = DEFAULT_SIMULATION_ENGINE,
     cross_check: bool = False,
+    fault_schedule=None,
 ) -> Dict[str, Any]:
     """Simulate one load point and return its metrics as a plain dictionary.
 
@@ -98,13 +100,22 @@ def measure_load_point(
     and the experiment API's ``latency`` report, so a cached
     :class:`~repro.api.result.RunResult` and a direct library call agree to
     the last digit.  Deadlocks are recorded, never raised.
+
+    ``fault_schedule`` accepts anything
+    :meth:`~repro.simulation.events.EventSchedule.from_spec` does; when it
+    yields a non-empty schedule the returned metrics gain a ``resilience``
+    sub-dictionary (fault-free records keep their exact historical shape).
     """
+    schedule = EventSchedule.from_spec(
+        fault_schedule, topology=design.topology, seed=seed
+    )
     config = SimulationConfig(
         injection_scale=injection_scale,
         buffer_depth=buffer_depth,
         seed=seed,
         traffic_scenario=traffic_scenario,
         scenario_params=dict(scenario_params or {}),
+        fault_schedule=schedule,
     )
     # Read the offered load from the engine's own generator instead of
     # constructing a throwaway second one.
@@ -113,7 +124,7 @@ def measure_load_point(
     stats = simulator.run(max_cycles)
     if cross_check and sim_engine != "legacy":
         verify_against_legacy(design, config, stats, sim_engine, max_cycles=max_cycles)
-    return {
+    metrics = {
         "injection_scale": injection_scale,
         "offered_flits_per_cycle": offered,
         "delivered_flits_per_cycle": stats.throughput_flits_per_cycle,
@@ -126,6 +137,20 @@ def measure_load_point(
         "deadlocked": stats.deadlock_detected,
         "deadlock_cycle": stats.deadlock_cycle,
     }
+    if schedule is not None and len(schedule):
+        recovered = [c for c in stats.recovery_cycles if c >= 0]
+        metrics["resilience"] = {
+            "fault_events_applied": stats.fault_events_applied,
+            "packets_lost": stats.packets_lost,
+            "flits_lost": stats.flits_lost,
+            "flows_rerouted": stats.flows_rerouted,
+            "recovery_cycles": list(stats.recovery_cycles),
+            "mean_recovery_cycles": (
+                sum(recovered) / len(recovered) if recovered else 0.0
+            ),
+            "post_fault_deadlock_free": stats.post_fault_deadlock_free,
+        }
+    return metrics
 
 
 def _load_point_from_metrics(metrics: Dict[str, Any]) -> LoadPoint:

@@ -12,8 +12,10 @@ where ``key`` is a SHA-256 content address derived from the producing
   every spec that differs only in removal engine or ordering strategy.
 
 Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers
-can share one cache directory; a corrupt or truncated entry is treated as a
-miss and overwritten, never trusted.  A worker killed mid-write leaves its
+can share one cache directory; a corrupt or truncated entry is treated as
+a miss, moved aside into ``<root>/corrupt/`` (so the evidence survives for
+debugging and the recompute's fresh write cannot race the broken file) and
+recomputed, never trusted.  A worker killed mid-write leaves its
 ``.tmp`` file behind — those orphans are swept opportunistically the first
 time a process constructs a cache over the directory (once, so per-spec
 pool workers do not pay a tree walk per work item) and unconditionally by
@@ -52,6 +54,7 @@ class ArtifactCache:
         self.root = Path(root).expanduser()
         self.hits = 0
         self.misses = 0
+        self.quarantined = 0
         if self.root not in _SWEPT_ROOTS:
             _SWEPT_ROOTS.add(self.root)
             self.sweep_temp_files()
@@ -60,14 +63,46 @@ class ArtifactCache:
     def _path(self, kind: str, key: str) -> Path:
         return self.root / kind / key[:_KEY_PREFIX_LEN] / f"{key}.json"
 
+    def _quarantine(self, path: Path) -> Optional[Path]:
+        """Move a corrupt entry into ``<root>/corrupt/`` (best effort).
+
+        The move is a rename, so it cannot half-copy the broken file, and
+        losing a race against a concurrent writer/quarantiner is fine —
+        whoever wins, the poisoned path no longer answers lookups.
+        Returns the quarantine location, or ``None`` when the move failed.
+        """
+        target_dir = self.root / "corrupt"
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            os.replace(path, target)
+        except OSError:
+            return None
+        self.quarantined += 1
+        return target
+
     def get(self, kind: str, key: str) -> Optional[Dict[str, Any]]:
-        """The stored document, or ``None`` on miss (or corrupt entry)."""
+        """The stored document, or ``None`` on miss (or corrupt entry).
+
+        A present-but-unreadable entry (truncated JSON, I/O error) counts
+        as a miss *and* is quarantined to ``<root>/corrupt/``, so the
+        caller's recompute overwrites a clean slate.
+        """
         path = self._path(kind, key)
         try:
             text = path.read_text()
-            document = json.loads(text)
-        except (OSError, json.JSONDecodeError):
+        except FileNotFoundError:
             self.misses += 1
+            return None
+        except OSError:
+            self.misses += 1
+            self._quarantine(path)
+            return None
+        try:
+            document = json.loads(text)
+        except json.JSONDecodeError:
+            self.misses += 1
+            self._quarantine(path)
             return None
         self.hits += 1
         return document

@@ -67,6 +67,7 @@ def _spec_params(params: Mapping[str, Any]) -> Dict[str, Any]:
             "traffic_scenario",
             "sim_cycles",
             "buffer_depth",
+            "fault_schedule",
         )
         if key in params
     }
@@ -271,7 +272,81 @@ class _LatencyReport(ReportType):
         }
 
 
+#: Default fault request of the ``resilience`` report: two link failures,
+#: later repaired, drawn deterministically from the spec's seed.
+DEFAULT_FAULT_SCHEDULE: Dict[str, Any] = {
+    "random": {
+        "link_failures": 2,
+        "start_cycle": 100,
+        "end_cycle": 1000,
+        "restore_after": 600,
+    }
+}
+
+
+class _ResilienceReport(ReportType):
+    """Fault-injection outcome of one benchmark point, per design variant.
+
+    One simulating :class:`RunSpec` with a ``fault_schedule``; the render
+    folds each variant's ``resilience`` section (recovery latency, lost
+    traffic, post-fault deadlock freedom) next to its headline performance
+    numbers, so one record answers "what did the faults cost".
+
+    Parameters: ``benchmark`` (default ``"D36_8"``), ``switch_count``
+    (default 14), ``injection_scale`` (default 1.0), ``fault_schedule``
+    (default :data:`DEFAULT_FAULT_SCHEDULE`), ``seed`` and any simulation
+    field (``sim_engine``, ``traffic_scenario``, ``sim_cycles``,
+    ``buffer_depth``).
+    """
+
+    def _benchmark(self, params: Mapping[str, Any]) -> str:
+        return params.get("benchmark", "D36_8")
+
+    def _switch_count(self, params: Mapping[str, Any]) -> int:
+        return params.get("switch_count", FIGURE10_SWITCH_COUNT)
+
+    def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
+        extra = _spec_params(params)
+        extra.setdefault("fault_schedule", dict(DEFAULT_FAULT_SCHEDULE))
+        return [
+            RunSpec(
+                benchmark=self._benchmark(params),
+                switch_count=self._switch_count(params),
+                seed=params.get("seed", 0),
+                injection_scale=params.get("injection_scale", 1.0),
+                **extra,
+            )
+        ]
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        from repro.api.runner import SIMULATED_VARIANTS  # local: avoid import cycle
+
+        result = self._results(params, lookup)[0]
+        simulation = result.simulation or {}
+        variants: Dict[str, Any] = {}
+        for variant in SIMULATED_VARIANTS:
+            metrics = simulation.get("variants", {}).get(variant, {})
+            entry = dict(metrics.get("resilience", {}))
+            entry.update(
+                average_latency=metrics.get("average_latency"),
+                delivered_flits_per_cycle=metrics.get("delivered_flits_per_cycle"),
+                deadlocked=metrics.get("deadlocked"),
+                deadlock_cycle=metrics.get("deadlock_cycle"),
+            )
+            variants[variant] = entry
+        return {
+            "benchmark": self._benchmark(params),
+            "switch_count": self._switch_count(params),
+            "injection_scale": simulation.get("injection_scale"),
+            "sim_cycles": simulation.get("sim_cycles"),
+            "sim_engine": simulation.get("engine", "compiled"),
+            "fault_schedule": simulation.get("fault_schedule"),
+            "variants": variants,
+        }
+
+
 report_types.register("latency", _LatencyReport())
+report_types.register("resilience", _ResilienceReport())
 report_types.register("figure8", _SwitchCountSweepReport("D26_media", FIGURE8_SWITCH_COUNTS))
 report_types.register("figure9", _SwitchCountSweepReport("D36_8", FIGURE9_SWITCH_COUNTS))
 report_types.register("figure10", _Figure10PowerReport())

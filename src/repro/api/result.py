@@ -51,6 +51,10 @@ class RunResult:
     #: True when this record was served from the artifact cache (runtime
     #: state, not part of the serialized schema).
     cache_hit: bool = field(default=False, compare=False)
+    #: How many executions this record took (> 1 only when a worker died
+    #: mid-spec and :func:`repro.perf.executor.parallel_map` retried it).
+    #: Excluded from equality so a retried record still matches a clean one.
+    attempts: int = field(default=1, compare=False)
 
     # ------------------------------------------------------------------
     # derived claims — formulas identical to MethodComparison
@@ -145,6 +149,8 @@ class RunResult:
         }
         if self.simulation is not None:
             document["simulation"] = self.simulation
+        if self.attempts > 1:
+            document["attempts"] = self.attempts
         return document
 
     @classmethod
@@ -173,6 +179,7 @@ class RunResult:
                 removal_area_mm2=data["removal_area_mm2"],
                 ordering_area_mm2=data["ordering_area_mm2"],
                 simulation=data.get("simulation"),
+                attempts=data.get("attempts", 1),
             )
         except KeyError as exc:
             raise PlanError(f"run result document is missing field {exc}") from exc

@@ -110,12 +110,22 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
     pressure — are recorded in the metrics, never raised.
     """
     from repro.analysis.performance import measure_load_point  # local: lazy sim import
+    from repro.simulation.events import EventSchedule  # local: lazy sim import
 
     designs = {
         "unprotected": comparison.unprotected,
         "removal": comparison.removal.design,
         "ordering": comparison.ordering.design,
     }
+    # Resolve a fault-schedule request once, against the unprotected
+    # topology: the protected variants only ever *add* channels on the
+    # same physical links, so a schedule drawn here targets links that
+    # exist in every variant — all three degrade under identical faults.
+    schedule = EventSchedule.from_spec(
+        spec.fault_schedule,
+        topology=comparison.unprotected.topology,
+        seed=spec.seed,
+    )
     variants = {
         variant: measure_load_point(
             designs[variant],
@@ -125,10 +135,11 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
             seed=spec.seed,
             traffic_scenario=spec.traffic_scenario,
             sim_engine=spec.sim_engine,
+            fault_schedule=schedule,
         )
         for variant in SIMULATED_VARIANTS
     }
-    return {
+    simulation = {
         "engine": spec.sim_engine,
         "traffic_scenario": spec.traffic_scenario,
         "injection_scale": spec.injection_scale,
@@ -137,6 +148,9 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
         "seed": spec.seed,
         "variants": variants,
     }
+    if spec.fault_schedule is not None:
+        simulation["fault_schedule"] = dict(spec.fault_schedule)
+    return simulation
 
 
 def _run_spec_task(task: Tuple[Dict[str, Any], Optional[str]]) -> RunResult:
@@ -243,7 +257,12 @@ class Runner:
             results = [execute_spec(spec, self.cache) for spec in specs]
         else:
             tasks = [(spec.to_dict(), self.cache_dir) for spec in specs]
-            results = parallel_map(_run_spec_task, tasks, jobs=self.jobs)
+            attempts: List[int] = []
+            results = parallel_map(
+                _run_spec_task, tasks, jobs=self.jobs, attempts_out=attempts
+            )
+            for result, tries in zip(results, attempts):
+                result.attempts = tries
         return PlanResult(plan=plan, results=results)
 
 

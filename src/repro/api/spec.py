@@ -22,9 +22,14 @@ Plan schema (``format_version`` 1)::
         {"benchmark": "D26_media", "switch_counts": [5, 8, 11]},
         {"benchmarks": ["D36_4", "D36_8"], "switch_count": 14, "seeds": [0, 1]},
         {"benchmark": "D36_8", "switch_count": 14,
-         "injection_scales": [0.5, 1.0, 2.0], "traffic_scenario": "hotspot"}
+         "injection_scales": [0.5, 1.0, 2.0], "traffic_scenario": "hotspot"},
+        {"benchmark": "D36_8", "switch_count": 14, "injection_scale": 1.0,
+         "fault_schedule": {"random": {"link_failures": 2,
+                                       "start_cycle": 100, "end_cycle": 800,
+                                       "restore_after": 500}}}
       ],
-      "reports": ["figure8", {"type": "figure9", "switch_counts": [10, 14]}]
+      "reports": ["figure8", {"type": "figure9", "switch_counts": [10, 14]},
+                  {"type": "resilience", "benchmark": "D36_8"}]
     }
 
 Every run entry accepts the singular or plural form of ``benchmark``,
@@ -33,6 +38,22 @@ Every run entry accepts the singular or plural form of ``benchmark``,
 to the RunSpec defaults.  Entries with an ``injection_scale`` additionally
 run the wormhole simulation at that load point (see
 :attr:`RunSpec.injection_scale`).
+
+A ``fault_schedule`` (only meaningful on simulating entries) injects
+link/router failures mid-run and records the resilience metrics —
+recovery latency, in-flight flit loss, post-fault deadlock freedom — in
+the result's ``simulation.variants[*].resilience`` section.  It is either
+an explicit event list::
+
+    {"events": [{"cycle": 200, "action": "fail_link",
+                 "link": {"src": "sw3", "dst": "sw5", "index": 0}},
+                {"cycle": 700, "action": "restore_link",
+                 "link": {"src": "sw3", "dst": "sw5", "index": 0}}]}
+
+or a deterministic seeded request (``seed`` defaults to the spec's own)::
+
+    {"random": {"link_failures": 1, "router_failures": 1,
+                "start_cycle": 100, "end_cycle": 1000}}
 """
 
 from __future__ import annotations
@@ -63,6 +84,7 @@ _SPEC_FIELDS = (
     "injection_scale",
     "sim_cycles",
     "buffer_depth",
+    "fault_schedule",
 )
 
 
@@ -115,6 +137,13 @@ class RunSpec:
         Injection cycles per simulation run.
     buffer_depth:
         Flit capacity of every VC input buffer during simulation.
+    fault_schedule:
+        Optional fault-injection request for the simulation: either an
+        explicit ``{"events": [...]}`` document or a seeded
+        ``{"random": {...}}`` request (see
+        :meth:`repro.simulation.events.EventSchedule.from_spec`; a random
+        request without its own ``seed`` inherits the spec's).  Only
+        meaningful together with ``injection_scale``.
     """
 
     benchmark: str
@@ -130,6 +159,7 @@ class RunSpec:
     injection_scale: Optional[float] = None
     sim_cycles: int = 3000
     buffer_depth: int = 4
+    fault_schedule: Optional[Dict[str, Any]] = None
 
     def __post_init__(self):
         if not isinstance(self.benchmark, str) or not self.benchmark:
@@ -174,6 +204,17 @@ class RunSpec:
             raise PlanError(f"buffer_depth must be an integer, got {self.buffer_depth!r}")
         if self.buffer_depth < 1:
             raise PlanError(f"buffer_depth must be at least 1, got {self.buffer_depth}")
+        if self.fault_schedule is not None:
+            if not isinstance(self.fault_schedule, Mapping):
+                raise PlanError(
+                    "fault_schedule must be a mapping with 'events' or 'random' "
+                    f"(or null), got {self.fault_schedule!r}"
+                )
+            if "events" not in self.fault_schedule and "random" not in self.fault_schedule:
+                raise PlanError(
+                    "fault_schedule needs an 'events' list or a 'random' request"
+                )
+            self.fault_schedule = dict(self.fault_schedule)
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -257,6 +298,7 @@ _SIM_AXIS_FIELDS = (
     "injection_scale",
     "sim_cycles",
     "buffer_depth",
+    "fault_schedule",
 )
 _SIM_FIELD_DEFAULTS = tuple(
     (spec_field.name, spec_field.default)
@@ -348,6 +390,7 @@ def expand_run_entry(
             "traffic_scenario",
             "sim_cycles",
             "buffer_depth",
+            "fault_schedule",
         )
         if key in merged
     }

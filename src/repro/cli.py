@@ -106,6 +106,21 @@ def _cmd_synthesize(args: argparse.Namespace) -> int:
     return 0
 
 
+def _load_fault_schedule(value: Optional[str]):
+    """Parse ``--fault-schedule``: inline JSON (starts with ``{``) or a file.
+
+    Returns the raw document; resolution against the design's topology
+    (including ``{"random": ...}`` requests) happens in ``simulate_design``.
+    """
+    if value is None:
+        return None
+    text = value if value.lstrip().startswith("{") else Path(value).read_text()
+    try:
+        return json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"invalid fault schedule JSON: {exc}")
+
+
 def _cmd_simulate(args: argparse.Namespace) -> int:
     design = load_design(args.design)
     config = SimulationConfig(
@@ -120,6 +135,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config=config,
         engine=args.engine,
         cross_check=args.cross_check,
+        fault_schedule=_load_fault_schedule(args.fault_schedule),
     )
     print(stats.summary())
     return 1 if stats.deadlock_detected else 0
@@ -270,6 +286,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the legacy engine and fail on any statistics "
         "divergence (slow; debugging aid)",
+    )
+    p.add_argument(
+        "--fault-schedule",
+        default=None,
+        metavar="JSON_OR_FILE",
+        help="inject link/router failures mid-run: a JSON document (inline "
+        "when starting with '{', otherwise a file path) with an 'events' "
+        "list or a seeded 'random' request",
     )
     p.set_defaults(func=_cmd_simulate)
 

@@ -209,6 +209,23 @@ class DesignContext:
         self._updown.clear()
         self._updown_link_count = -1
 
+    def notify_topology_changed(self) -> None:
+        """Invalidate every structure derived from the physical link set.
+
+        The link-count staleness check in :meth:`graph` cannot see a change
+        that removes one link and adds another (the counts alias), so any
+        mutation that *removes* links — fault injection degrading the
+        topology mid-simulation — must call this instead of relying on it.
+        The CDG index survives: it is keyed on the route-set version, and
+        route changes caused by the fault flow through the normal route
+        APIs.
+        """
+        self._graph = None
+        self._graph_link_count = -1
+        self._updown.clear()
+        self._updown_link_count = -1
+        self.sim_template = None
+
     def notify_channel_added(self, channel: Channel) -> None:
         """Record a duplicated channel (new VC or a VC of a new link).
 

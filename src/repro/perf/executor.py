@@ -47,62 +47,117 @@ def parallel_map(
     items: Iterable[T],
     *,
     jobs: Optional[int] = None,
+    retries: int = 1,
+    attempts_out: Optional[List[int]] = None,
 ) -> List[R]:
     """Ordered ``[func(item) for item in items]``, optionally across processes.
 
     With ``jobs`` resolving to 1 (the default) this is a plain serial list
     comprehension — same exceptions, same ordering.  With more workers the
     items are dispatched to a process pool; results are returned in input
-    order.  If the pool cannot run the work (unpicklable function or items,
-    broken interpreter support) the computation silently degrades to serial
-    so callers never have to special-case platforms.
+    order.  If the pool cannot run the work at all (unpicklable function or
+    items, broken interpreter support) the computation silently degrades to
+    serial so callers never have to special-case platforms.
+
+    When a worker dies mid-run (``BrokenProcessPool``), completed results
+    are **kept** and only the unfinished items are re-dispatched to a fresh
+    pool, at most ``retries`` extra pool attempts per item; an item that
+    exhausts its retries runs serially in this process.  So an item's side
+    effects (cache writes, file output) repeat only for the items actually
+    caught in the crash, never for the whole batch.  ``attempts_out``, when
+    given, is filled with the per-item execution counts in input order.
+
+    Exceptions raised *by func* — in a worker or during a serial (re)run —
+    propagate to the caller unchanged.
     """
     items = list(items)
-    workers = min(resolve_jobs(jobs), max(len(items), 1))
-    if workers <= 1 or len(items) <= 1:
-        return [func(item) for item in items]
-    # Cheap pre-flight: the callable plus one sample item must pickle.  The
-    # full item list is serialised by the pool itself during dispatch;
-    # round-tripping it here would double the work and the peak memory.
+    count = len(items)
+    attempts = [0] * count
+
+    def _record() -> None:
+        if attempts_out is not None:
+            attempts_out[:] = attempts
+
+    def _serial(indices) -> None:
+        for i in indices:
+            attempts[i] += 1
+            results[i] = func(items[i])
+            done[i] = True
+            _record()
+
+    results: List[Optional[R]] = [None] * count
+    done = [False] * count
+    workers = min(resolve_jobs(jobs), max(count, 1))
     try:
-        pickle.dumps(func)
-        pickle.dumps(items[0])
-    except Exception:
-        warnings.warn(
-            "parallel_map: work is not picklable, falling back to serial",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [func(item) for item in items]
-    try:
-        pool = ProcessPoolExecutor(max_workers=workers)
-    except OSError as exc:  # e.g. no fork/spawn support on the platform
-        warnings.warn(
-            f"parallel_map: cannot start worker processes ({exc!r}), "
-            "falling back to serial",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [func(item) for item in items]
-    # Exceptions raised *by func* inside a worker propagate to the caller
-    # unchanged — only pool-infrastructure failures degrade to serial.
-    partial: List[R] = []
-    try:
-        with pool:
-            for result in pool.map(func, items):
-                partial.append(result)
-            return partial
-    except (BrokenProcessPool, pickle.PicklingError) as exc:
-        # The serial retry below re-executes *every* item, including the
-        # ones whose results already came back — callers whose work items
-        # have side effects (cache writes, file output) see those repeat.
-        # Being silent about it made double-writes undiagnosable.
-        warnings.warn(
-            f"parallel_map: process pool died mid-run ({exc!r}) after "
-            f"{len(partial)} of {len(items)} item(s) completed; discarding "
-            "the partial results and re-running ALL items serially "
-            "(side effects of completed items will run twice)",
-            RuntimeWarning,
-            stacklevel=2,
-        )
-        return [func(item) for item in items]
+        if workers <= 1 or count <= 1:
+            _serial(range(count))
+            return list(results)  # type: ignore[arg-type]
+        # Cheap pre-flight: the callable plus one sample item must pickle.
+        # The full item list is serialised by the pool itself during
+        # dispatch; round-tripping it here would double the work and the
+        # peak memory.
+        try:
+            pickle.dumps(func)
+            pickle.dumps(items[0])
+        except Exception:
+            warnings.warn(
+                "parallel_map: work is not picklable, falling back to serial",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            _serial(range(count))
+            return list(results)  # type: ignore[arg-type]
+
+        pending = list(range(count))
+        while pending:
+            try:
+                pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
+            except OSError as exc:  # e.g. no fork/spawn support on the platform
+                warnings.warn(
+                    f"parallel_map: cannot start worker processes ({exc!r}), "
+                    "falling back to serial",
+                    RuntimeWarning,
+                    stacklevel=2,
+                )
+                _serial(pending)
+                return list(results)  # type: ignore[arg-type]
+            try:
+                with pool:
+                    futures = []
+                    for i in pending:
+                        attempts[i] += 1
+                        futures.append((i, pool.submit(func, items[i])))
+                    for i, future in futures:
+                        try:
+                            results[i] = future.result()
+                            done[i] = True
+                        except (BrokenProcessPool, pickle.PicklingError):
+                            pass
+            except (BrokenProcessPool, pickle.PicklingError):
+                # submit() or the pool shutdown itself blew up; the
+                # per-future bookkeeping above already recorded whatever
+                # finished before the crash.
+                pass
+            unfinished = [i for i in pending if not done[i]]
+            if not unfinished:
+                break
+            # A dead pool means at least one worker was killed mid-item
+            # (OOM, signal).  Retry just the unfinished items: a bounded
+            # number of fresh-pool rounds each, then serially in this
+            # process — never re-running the items that already completed.
+            retryable = [i for i in unfinished if attempts[i] <= retries]
+            exhausted = [i for i in unfinished if attempts[i] > retries]
+            warnings.warn(
+                f"parallel_map: process pool died with {len(unfinished)} of "
+                f"{count} item(s) unfinished; retrying "
+                f"{len(retryable)} in a fresh pool, running "
+                f"{len(exhausted)} serially (completed results are kept)",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            if exhausted:
+                _serial(exhausted)
+            pending = retryable
+        return list(results)  # type: ignore[arg-type]
+    finally:
+        _record()

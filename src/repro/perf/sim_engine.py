@@ -226,6 +226,9 @@ class CompiledNetwork:
         self._undelivered = 0
         self._moved: set = set()
         self._pending: List[Tuple[int, int, int, int]] = []
+        # Transfer counts of channels that left the topology mid-run (fault
+        # injection); folded into the stats alongside the live counters.
+        self._retired_busy: Dict[Channel, int] = {}
 
     # ------------------------------------------------------------------
     # injection
@@ -298,6 +301,186 @@ class CompiledNetwork:
                 continue
             edges.append((channels[cid], channels[route[hops]]))
         return edges
+
+    # ------------------------------------------------------------------
+    # fault recovery support
+    # ------------------------------------------------------------------
+    def is_packet_live(self, packet_id: int) -> bool:
+        """True while ``packet_id`` has undelivered flits in the network."""
+        return packet_id in self.pkt_flow
+
+    def live_packet_ids(self) -> set:
+        """Ids of every packet currently queued or in flight."""
+        return set(self.pkt_flow)
+
+    def drop_flows(self, flow_names) -> Tuple[int, int]:
+        """Discard every live packet of the given flows.
+
+        Returns ``(packets_dropped, flits_dropped)`` where the flit count
+        covers only undelivered flits.  Used by fault recovery before a
+        route swap: a packet whose flow is re-routed mid-flight cannot
+        finish its journey on the old path.
+        """
+        t = self.template
+        doomed_fids = {t.flow_ids[n] for n in flow_names if n in t.flow_ids}
+        doomed = {pid for pid, fid in self.pkt_flow.items() if fid in doomed_fids}
+        if not doomed:
+            return (0, 0)
+        buf_pkt, buf_lo, buf_hi = self.buf_pkt, self.buf_lo, self.buf_hi
+        dropped = 0
+        for c in range(t.channel_count):
+            if buf_pkt[c] in doomed:
+                flits = buf_hi[c] - buf_lo[c]
+                dropped += flits
+                self._buffered -= flits
+                self.r_flits[t.buf_router[c]] -= flits
+                buf_pkt[c] = -1
+                buf_lo[c] = 0
+                buf_hi[c] = 0
+            if self.out_owner[c] in doomed:
+                self.out_owner[c] = -1
+                self.out_src[c] = _NO_SOURCE
+        for fid in doomed_fids:
+            queue = self.inj_pkts[fid]
+            if queue:
+                pend = sum(self.pkt_size[pid] for pid in queue)
+                pend -= self.inj_head_idx[fid]
+                dropped += pend
+                self._pending_injection -= pend
+                self.r_flits[t.flow_src_router[fid]] -= pend
+                queue.clear()
+            self.inj_head_idx[fid] = 0
+        for pid in doomed:
+            del self.pkt_flow[pid]
+            del self.pkt_size[pid]
+            del self.pkt_created[pid]
+        self._undelivered -= dropped
+        return (len(doomed), dropped)
+
+    def sync_with_design(self) -> None:
+        """Recompile the template after a topology/route change and migrate.
+
+        The fault-recovery drop rule guarantees that every surviving packet
+        belongs to a flow whose route is unchanged, so migration is a pure
+        relabelling: per-channel state is carried over by :class:`Channel`
+        identity, source codes and flow ids are remapped by name, and the
+        per-(router, link) VC round-robin pointers follow their link (a
+        link that lost all channels restarts at VC 0, exactly like the
+        legacy network dropping and re-creating its ``link_pointer``
+        entry).
+        """
+        old = self.template
+        design = self.design
+        if (
+            old.channels == design.topology.channels()
+            and old.routes_version == design.routes.version
+        ):
+            return
+        new = SimulationTemplate(design)
+        DesignContext.of(design).sim_template = new
+        counters.sim_template_builds += 1
+
+        # Transfer counts of channels that no longer exist must still reach
+        # the final stats (the legacy engine records them in place).
+        new_ids = new.channel_id
+        for o_cid, count in enumerate(self.busy):
+            channel = old.channels[o_cid]
+            if count and channel not in new_ids:
+                self._retired_busy[channel] = (
+                    self._retired_busy.get(channel, 0) + count
+                )
+
+        C = new.channel_count
+        buf_pkt = [-1] * C
+        buf_lo = [0] * C
+        buf_hi = [0] * C
+        buf_hops = [0] * C
+        out_owner = [-1] * C
+        out_src = [_NO_SOURCE] * C
+        alloc_ptr = [0] * C
+        busy = [0] * C
+        old_flow_name = {fid: name for name, fid in old.flow_ids.items()}
+        for n_cid, channel in enumerate(new.channels):
+            o_cid = old.channel_id.get(channel)
+            if o_cid is None:
+                continue
+            buf_pkt[n_cid] = self.buf_pkt[o_cid]
+            buf_lo[n_cid] = self.buf_lo[o_cid]
+            buf_hi[n_cid] = self.buf_hi[o_cid]
+            buf_hops[n_cid] = self.buf_hops[o_cid]
+            alloc_ptr[n_cid] = self.alloc_ptr[o_cid]
+            busy[n_cid] = self.busy[o_cid]
+            owner = self.out_owner[o_cid]
+            if owner == -1:
+                continue
+            src = self.out_src[o_cid]
+            if src < old.channel_count:
+                new_src = new.channel_id.get(old.channels[src], -1)
+            else:
+                fid = new.flow_ids.get(old_flow_name[src - old.channel_count], -1)
+                new_src = new.channel_count + fid if fid >= 0 else -1
+            if new_src >= 0:
+                out_owner[n_cid] = owner
+                out_src[n_cid] = new_src
+
+        # Per-(router, link) VC pointers follow their link across templates.
+        old_link_ptr = {}
+        for rid, groups in enumerate(old.r_links):
+            for chs, slot in groups:
+                old_link_ptr[(rid, old.channels[chs[0]].link)] = self.link_ptr[slot]
+        link_ptr = [0] * new.link_slot_count
+        for rid, groups in enumerate(new.r_links):
+            for chs, slot in groups:
+                link_ptr[slot] = old_link_ptr.get(
+                    (rid, new.channels[chs[0]].link), 0
+                )
+
+        # Injection queues and packet records follow their flow by name
+        # (flows that became unrouted had their queues cleared by
+        # ``drop_flows`` before this sync).
+        inj_pkts: List[Deque[int]] = [deque() for _ in new.flow_routes]
+        inj_head = [0] * len(new.flow_routes)
+        for name, o_fid in old.flow_ids.items():
+            n_fid = new.flow_ids.get(name)
+            if n_fid is not None:
+                inj_pkts[n_fid] = self.inj_pkts[o_fid]
+                inj_head[n_fid] = self.inj_head_idx[o_fid]
+        self.pkt_flow = {
+            pid: new.flow_ids[old_flow_name[o_fid]]
+            for pid, o_fid in self.pkt_flow.items()
+        }
+
+        # Recount the O(1) flit counters against the migrated state.
+        r_flits = [0] * len(new.switches)
+        buffered = 0
+        for c in range(C):
+            flits = buf_hi[c] - buf_lo[c]
+            if flits:
+                buffered += flits
+                r_flits[new.buf_router[c]] += flits
+        pending = 0
+        for fid, queue in enumerate(inj_pkts):
+            if queue:
+                pend = sum(self.pkt_size[pid] for pid in queue)
+                pend -= inj_head[fid]
+                pending += pend
+                r_flits[new.flow_src_router[fid]] += pend
+
+        self.template = new
+        self.buf_pkt, self.buf_lo, self.buf_hi, self.buf_hops = (
+            buf_pkt,
+            buf_lo,
+            buf_hi,
+            buf_hops,
+        )
+        self.out_owner, self.out_src = out_owner, out_src
+        self.alloc_ptr, self.link_ptr = alloc_ptr, link_ptr
+        self.busy = busy
+        self.inj_pkts, self.inj_head_idx = inj_pkts, inj_head
+        self.r_flits = r_flits
+        self._buffered = buffered
+        self._pending_injection = pending
+        self._undelivered = buffered + pending
 
     # ------------------------------------------------------------------
     # one simulation cycle
@@ -477,9 +660,12 @@ class CompiledNetwork:
         """Fold the per-channel transfer counters into the stats dict."""
         channels = self.template.channels
         record = stats.channel_busy_cycles
+        for channel, count in self._retired_busy.items():
+            record[channel] = record.get(channel, 0) + count
         for cid, count in enumerate(self.busy):
             if count:
-                record[channels[cid]] = count
+                channel = channels[cid]
+                record[channel] = record.get(channel, 0) + count
 
 
 class CompiledSimulator(Simulator):

@@ -16,6 +16,8 @@ as the cross-check reference.  Traffic patterns are pluggable too
 :mod:`repro.simulation.scenarios`).
 """
 
+from repro.simulation.events import EventSchedule, FaultEvent
+from repro.simulation.recovery import RecoveryController
 from repro.simulation.simulator import (
     DEFAULT_SIMULATION_ENGINE,
     SimulationConfig,
@@ -30,7 +32,10 @@ from repro.simulation.traffic_gen import FlowTrafficGenerator
 
 __all__ = [
     "DEFAULT_SIMULATION_ENGINE",
+    "EventSchedule",
+    "FaultEvent",
     "FlowTrafficGenerator",
+    "RecoveryController",
     "Simulator",
     "SimulationConfig",
     "build_simulator",

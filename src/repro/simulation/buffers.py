@@ -81,5 +81,21 @@ class VirtualChannelBuffer:
             pass
         return flit
 
+    @property
+    def current_packet_id(self) -> Optional[int]:
+        """Packet currently reserving this buffer (may be set while empty)."""
+        return self._current_packet_id
+
+    def drain(self) -> int:
+        """Discard every stored flit and the packet reservation.
+
+        Used by fault recovery when the packet occupying this buffer is
+        dropped mid-flight; returns the number of flits discarded.
+        """
+        dropped = len(self._fifo)
+        self._fifo.clear()
+        self._current_packet_id = None
+        return dropped
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"VirtualChannelBuffer({self.occupancy}/{self.capacity})"

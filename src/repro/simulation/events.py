@@ -1,0 +1,299 @@
+"""Fault-injection event schedules for the wormhole simulation.
+
+A :class:`FaultEvent` degrades (or repairs) the simulated topology at a
+given cycle; an :class:`EventSchedule` is an ordered, deterministic,
+JSON-round-trippable collection of them.  Schedules are *data*, not
+behaviour: the :class:`~repro.simulation.recovery.RecoveryController`
+consumes one schedule per run, and both simulation engines replay the same
+schedule against the same design copy, so a faulted run stays exactly
+reproducible (and cross-checkable) from ``(design, config)`` alone.
+
+Four actions exist, mirroring the fault/power state the related SDN repos
+attach to their topology objects:
+
+* ``fail_link`` — remove one *directed* physical link (and every VC it
+  carries) from the running topology;
+* ``fail_router`` — remove every link entering or leaving a switch (the
+  switch itself stays, so locally attached cores keep their NI);
+* ``restore_link`` / ``restore_router`` — re-add links that a previous
+  fail event removed, with the VC count and physical length they had at
+  failure time.  Restoring something that was never failed (or is already
+  back) is a no-op, so random schedules never have to be consistency
+  checked.
+
+The seeded generator (:meth:`EventSchedule.random`) draws every choice
+from one :class:`random.Random` over *sorted* link/switch lists, so a
+schedule is a pure function of ``(topology, seed, parameters)`` — the
+experiment API threads :attr:`repro.api.spec.RunSpec.seed` into it.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.model.channels import Link
+from repro.model.topology import Topology
+
+#: Valid event actions, in no particular order.
+ACTIONS = ("fail_link", "fail_router", "restore_link", "restore_router")
+_LINK_ACTIONS = ("fail_link", "restore_link")
+_ROUTER_ACTIONS = ("fail_router", "restore_router")
+
+
+@dataclass(frozen=True, order=True)
+class FaultEvent:
+    """One scheduled topology change.
+
+    ``target`` is ``(src, dst, index)`` for link events and ``(switch,)``
+    for router events.  Events order by ``(cycle, action, target)``, which
+    is the order the recovery controller applies same-cycle batches in.
+    """
+
+    cycle: int
+    action: str
+    target: Tuple[Any, ...]
+
+    def __post_init__(self):
+        if not isinstance(self.cycle, int) or isinstance(self.cycle, bool) or self.cycle < 0:
+            raise SimulationError(
+                f"fault event cycle must be a non-negative integer, got {self.cycle!r}"
+            )
+        if self.action not in ACTIONS:
+            raise SimulationError(
+                f"unknown fault action {self.action!r}; valid: {', '.join(ACTIONS)}"
+            )
+        if self.action in _LINK_ACTIONS and len(self.target) != 3:
+            raise SimulationError(
+                f"{self.action} target must be (src, dst, index), got {self.target!r}"
+            )
+        if self.action in _ROUTER_ACTIONS and len(self.target) != 1:
+            raise SimulationError(
+                f"{self.action} target must be (switch,), got {self.target!r}"
+            )
+
+    @property
+    def is_link_event(self) -> bool:
+        """True for ``fail_link`` / ``restore_link``."""
+        return self.action in _LINK_ACTIONS
+
+    @property
+    def link(self) -> Link:
+        """The targeted link (link events only)."""
+        src, dst, index = self.target
+        return Link(src, dst, index)
+
+    @property
+    def switch(self) -> str:
+        """The targeted switch (router events only)."""
+        return self.target[0]
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON form: ``{"cycle", "action", "link": {...}}`` or ``"switch"``."""
+        document: Dict[str, Any] = {"cycle": self.cycle, "action": self.action}
+        if self.is_link_event:
+            src, dst, index = self.target
+            document["link"] = {"src": src, "dst": dst, "index": index}
+        else:
+            document["switch"] = self.target[0]
+        return document
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "FaultEvent":
+        """Rebuild an event; malformed documents raise SimulationError."""
+        if not isinstance(data, Mapping):
+            raise SimulationError(
+                f"fault event must be a mapping, got {type(data).__name__}"
+            )
+        action = data.get("action")
+        if action in _LINK_ACTIONS:
+            link = data.get("link")
+            if not isinstance(link, Mapping) or "src" not in link or "dst" not in link:
+                raise SimulationError(
+                    f"{action} event needs a link mapping with src/dst, got {link!r}"
+                )
+            target: Tuple[Any, ...] = (link["src"], link["dst"], link.get("index", 0))
+        elif action in _ROUTER_ACTIONS:
+            if "switch" not in data:
+                raise SimulationError(f"{action} event needs a 'switch' field")
+            target = (data["switch"],)
+        else:
+            raise SimulationError(
+                f"unknown fault action {action!r}; valid: {', '.join(ACTIONS)}"
+            )
+        return cls(cycle=data.get("cycle", 0), action=action, target=target)
+
+
+class EventSchedule:
+    """An ordered collection of fault events (chainable builder).
+
+    ``events`` always comes back sorted by ``(cycle, action, target)``;
+    iteration, length and JSON round-trips all use that canonical order, so
+    two schedules built from the same events in any order are
+    indistinguishable.
+    """
+
+    def __init__(self, events: Iterable[FaultEvent] = ()):
+        self._events: List[FaultEvent] = list(events)
+
+    # ------------------------------------------------------------------
+    # builder methods (chainable)
+    # ------------------------------------------------------------------
+    def fail_link(self, cycle: int, src: str, dst: str, index: int = 0) -> "EventSchedule":
+        """Schedule the directed link ``src->dst`` to fail at ``cycle``."""
+        self._events.append(FaultEvent(cycle, "fail_link", (src, dst, index)))
+        return self
+
+    def restore_link(self, cycle: int, src: str, dst: str, index: int = 0) -> "EventSchedule":
+        """Schedule a previously failed link to come back at ``cycle``."""
+        self._events.append(FaultEvent(cycle, "restore_link", (src, dst, index)))
+        return self
+
+    def fail_router(self, cycle: int, switch: str) -> "EventSchedule":
+        """Schedule every link touching ``switch`` to fail at ``cycle``."""
+        self._events.append(FaultEvent(cycle, "fail_router", (switch,)))
+        return self
+
+    def restore_router(self, cycle: int, switch: str) -> "EventSchedule":
+        """Schedule ``switch``'s previously failed links back at ``cycle``."""
+        self._events.append(FaultEvent(cycle, "restore_router", (switch,)))
+        return self
+
+    # ------------------------------------------------------------------
+    @property
+    def events(self) -> Tuple[FaultEvent, ...]:
+        """The events in canonical ``(cycle, action, target)`` order."""
+        return tuple(sorted(self._events))
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+    def __bool__(self) -> bool:
+        return bool(self._events)
+
+    def __iter__(self) -> Iterator[FaultEvent]:
+        return iter(self.events)
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, EventSchedule):
+            return NotImplemented
+        return self.events == other.events
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"EventSchedule({len(self._events)} event(s))"
+
+    # ------------------------------------------------------------------
+    # serialization
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-serializable form (events in canonical order)."""
+        return {"events": [event.to_dict() for event in self.events]}
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "EventSchedule":
+        """Rebuild a schedule from its :meth:`to_dict` form."""
+        if not isinstance(data, Mapping):
+            raise SimulationError(
+                f"event schedule must be a mapping, got {type(data).__name__}"
+            )
+        events = data.get("events", [])
+        if not isinstance(events, (list, tuple)):
+            raise SimulationError(f"'events' must be a list, got {events!r}")
+        return cls(FaultEvent.from_dict(entry) for entry in events)
+
+    # ------------------------------------------------------------------
+    # seeded random generation
+    # ------------------------------------------------------------------
+    @classmethod
+    def random(
+        cls,
+        topology: Topology,
+        *,
+        seed: int = 0,
+        link_failures: int = 1,
+        router_failures: int = 0,
+        start_cycle: int = 100,
+        end_cycle: int = 1000,
+        restore_after: Optional[int] = None,
+    ) -> "EventSchedule":
+        """A deterministic random schedule for ``topology``.
+
+        Picks ``link_failures`` distinct links and ``router_failures``
+        distinct switches (clamped to what the topology has), each failing
+        at a cycle drawn uniformly from ``[start_cycle, end_cycle)``; with
+        ``restore_after`` set, every failure is matched by a restore that
+        many cycles later.  All draws come from one ``random.Random(seed)``
+        over sorted candidate lists, so the schedule is a pure function of
+        the arguments.
+        """
+        if end_cycle <= start_cycle:
+            raise SimulationError(
+                f"end_cycle ({end_cycle}) must exceed start_cycle ({start_cycle})"
+            )
+        rng = random.Random(seed)
+        schedule = cls()
+        links = topology.links  # sorted
+        for link in rng.sample(links, min(max(link_failures, 0), len(links))):
+            cycle = rng.randrange(start_cycle, end_cycle)
+            schedule.fail_link(cycle, link.src, link.dst, link.index)
+            if restore_after is not None:
+                schedule.restore_link(cycle + restore_after, link.src, link.dst, link.index)
+        switches = sorted(topology.switches)
+        for switch in rng.sample(switches, min(max(router_failures, 0), len(switches))):
+            cycle = rng.randrange(start_cycle, end_cycle)
+            schedule.fail_router(cycle, switch)
+            if restore_after is not None:
+                schedule.restore_router(cycle + restore_after, switch)
+        return schedule
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_spec(
+        cls,
+        value: Union[None, "EventSchedule", Mapping[str, Any]],
+        *,
+        topology: Optional[Topology] = None,
+        seed: int = 0,
+    ) -> Optional["EventSchedule"]:
+        """Resolve a spec-level fault-schedule value into a schedule.
+
+        Accepts ``None`` (no faults), an :class:`EventSchedule` (passed
+        through), an explicit ``{"events": [...]}`` document, or a
+        ``{"random": {...}}`` request whose parameters are forwarded to
+        :meth:`random` — the seed defaults to the surrounding spec's seed
+        unless the request pins its own.
+        """
+        if value is None:
+            return None
+        if isinstance(value, EventSchedule):
+            return value
+        if not isinstance(value, Mapping):
+            raise SimulationError(
+                f"fault schedule must be a mapping or EventSchedule, got "
+                f"{type(value).__name__}"
+            )
+        if "random" in value:
+            if "events" in value:
+                raise SimulationError(
+                    "fault schedule cannot combine 'events' and 'random'"
+                )
+            params = value["random"]
+            if not isinstance(params, Mapping):
+                raise SimulationError(
+                    f"'random' fault-schedule parameters must be a mapping, got {params!r}"
+                )
+            if topology is None:
+                raise SimulationError(
+                    "a random fault schedule needs a topology to draw from"
+                )
+            params = dict(params)
+            params.setdefault("seed", seed)
+            return cls.random(topology, **params)
+        if "events" in value:
+            return cls.from_dict(value)
+        raise SimulationError(
+            "fault schedule mapping needs an 'events' list or a 'random' request"
+        )

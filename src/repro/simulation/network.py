@@ -23,7 +23,7 @@ into a cyclic wait.
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import SimulationError
 from repro.model.channels import Channel, Link
@@ -42,6 +42,9 @@ class WormholeNetwork:
         self.routers: Dict[str, Router] = {}
         self._pending_arrivals: List[Tuple[Channel, Flit]] = []
         self._undelivered_flits = 0
+        #: Packets injected but not yet fully delivered (or dropped), by id.
+        #: Fault recovery uses this to watch in-flight packets drain.
+        self._live_packets: Dict[int, Packet] = {}
         self._build()
 
     # ------------------------------------------------------------------
@@ -73,6 +76,7 @@ class WormholeNetwork:
             raise SimulationError(
                 f"flow {packet.flow_name!r} has no injection queue at {source_switch!r}"
             )
+        self._live_packets[packet.packet_id] = packet
         for flit in make_flits(packet):
             router.injection_queues[packet.flow_name].append(flit)
             self._undelivered_flits += 1
@@ -120,6 +124,106 @@ class WormholeNetwork:
                 if wanted is not None:
                     edges.append((channel, wanted))
         return edges
+
+    # ------------------------------------------------------------------
+    # fault recovery support
+    # ------------------------------------------------------------------
+    def is_packet_live(self, packet_id: int) -> bool:
+        """True while the packet has undelivered flits (and was not dropped)."""
+        return packet_id in self._live_packets
+
+    def live_packet_ids(self) -> Set[int]:
+        """Ids of every packet currently in flight (copy)."""
+        return set(self._live_packets)
+
+    def drop_flows(self, flow_names: Iterable[str]) -> Tuple[int, int]:
+        """Remove every in-flight packet of the named flows.
+
+        Fault recovery calls this for flows whose route changed (or
+        vanished): their flits were emitted against the old route and can
+        no longer be forwarded consistently.  Clears the flows' injection
+        queues, drains every input buffer occupied by a doomed packet and
+        releases the output channels it owns.  Returns ``(packets, flits)``
+        dropped, counting only undelivered flits.
+        """
+        names = set(flow_names)
+        doomed = {
+            pid
+            for pid, packet in self._live_packets.items()
+            if packet.flow_name in names
+        }
+        if not doomed:
+            return (0, 0)
+        dropped_flits = 0
+        for router in self.routers.values():
+            for name, queue in router.injection_queues.items():
+                if name in names and queue:
+                    dropped_flits += len(queue)
+                    queue.clear()
+            for buffer in router.input_buffers.values():
+                if buffer.current_packet_id in doomed:
+                    dropped_flits += buffer.drain()
+            for channel, owner in router.output_owner.items():
+                if owner in doomed:
+                    router.output_owner[channel] = None
+                    router.output_source[channel] = None
+        self._undelivered_flits -= dropped_flits
+        for pid in doomed:
+            del self._live_packets[pid]
+        return (len(doomed), dropped_flits)
+
+    def sync_with_design(self) -> None:
+        """Reconcile the router state with the design's current topology/routes.
+
+        Fault recovery mutates the design in place (links removed/restored,
+        flows re-routed, deadlock removal adding VCs); this brings the
+        live network structures back in line:
+
+        * input buffers / output slots of vanished channels are deleted
+          (recovery drops the affected packets first, so they are empty)
+          and slots for new channels are created;
+        * a link whose last output channel vanished loses its round-robin
+          pointer, so a later restore starts from VC 0 exactly like a
+          freshly built network (and like the compiled engine);
+        * each router's input-buffer dict is re-sorted so the wait-for-edge
+          iteration order — which feeds the deadlock verdict — matches a
+          freshly built network;
+        * injection queues mirror the currently *routed* flows (an
+          unrouted flow must not take part in arbitration).
+        """
+        topology = self.design.topology
+        channel_set = set(topology.channels())
+        for router in self.routers.values():
+            for channel in list(router.input_buffers):
+                if channel not in channel_set:
+                    del router.input_buffers[channel]
+            for channel in list(router.output_owner):
+                if channel not in channel_set:
+                    del router.output_owner[channel]
+                    del router.output_source[channel]
+                    del router.alloc_pointer[channel]
+            live_links = {channel.link for channel in router.output_owner}
+            for link in list(router.link_pointer):
+                if link not in live_links:
+                    del router.link_pointer[link]
+        for channel in topology.channels():
+            dst_router = self.routers[channel.dst]
+            if channel not in dst_router.input_buffers:
+                dst_router.add_input_channel(channel)
+            src_router = self.routers[channel.src]
+            if channel not in src_router.output_owner:
+                src_router.add_output_channel(channel)
+        for router in self.routers.values():
+            router.input_buffers = dict(sorted(router.input_buffers.items()))
+            for name in list(router.injection_queues):
+                if not self.design.routes.has_route(name):
+                    del router.injection_queues[name]
+        for flow in self.design.traffic.flows:
+            if not self.design.routes.has_route(flow.name):
+                continue
+            router = self.routers[self.design.switch_of(flow.src)]
+            if flow.name not in router.injection_queues:
+                router.add_injection_flow(flow.name)
 
     # ------------------------------------------------------------------
     # one simulation cycle
@@ -217,6 +321,7 @@ class WormholeNetwork:
                 flit.packet.delivered_cycle = cycle
                 stats.packets_delivered += 1
                 stats.latencies.append(flit.packet.latency)
+                self._live_packets.pop(flit.packet.packet_id, None)
         else:
             self._pending_arrivals.append((channel, flit))
         return True

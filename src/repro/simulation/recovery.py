@@ -1,0 +1,261 @@
+"""Online recovery from link/router failures during a simulation run.
+
+The :class:`RecoveryController` owns the fault axis of a run: it consumes
+one :class:`~repro.simulation.events.EventSchedule`, applies each due
+batch of events to the *running* design at the start of its cycle, and
+repairs the damage before the network takes another step:
+
+1. the failed links leave the topology (recording their VC count and
+   physical length so a later restore can resurrect them faithfully);
+2. every route crossing a failed link is dropped, and every unrouted flow
+   is re-routed through the :class:`~repro.perf.route_engine.IndexedRouter`
+   with the same congestion-aware ordering the synthesis pipeline uses
+   (flows sorted by descending bandwidth, surviving routes committed
+   first so re-routes see the real congestion picture);
+3. deadlock removal re-runs on the degraded design through the default
+   dirty-region ``"context"`` engine, so the post-fault route set is again
+   provably deadlock-free (skippable via ``mode="reroute"`` — used by the
+   resilience test-suite to provoke genuine post-fault deadlocks);
+4. packets in flight on any flow whose route changed are dropped (their
+   wormhole path no longer exists) and the network re-synchronises its
+   channel state with the degraded design.
+
+Determinism: the controller works on the simulator's private design copy,
+draws no randomness of its own, and touches the network only between
+cycles — so compiled and legacy engines replaying the same schedule stay
+field-identical, which ``cross_check=True`` enforces.
+
+The per-batch *recovery latency* is the number of cycles until every
+packet that was in flight when the batch hit has left the network (by
+delivery — the dropped ones are gone immediately); ``-1`` marks a batch
+whose survivors never drained before the run ended.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.core.cdg import build_cdg
+from repro.core.cycles import count_cycles
+from repro.core.removal import remove_deadlocks
+from repro.errors import RouteError, SimulationError
+from repro.model.channels import Link
+from repro.model.design import NocDesign
+from repro.perf.design_context import DesignContext
+from repro.perf.route_engine import IndexedRouter
+from repro.simulation.events import EventSchedule
+
+#: Recovery modes: full re-routing plus deadlock re-removal (the default),
+#: or re-routing only (leaves the degraded CDG as the re-router made it).
+MODE_REMOVAL = "removal"
+MODE_REROUTE = "reroute"
+_MODES = (MODE_REMOVAL, MODE_REROUTE)
+
+
+class RecoveryController:
+    """Applies a fault schedule to a running simulation and recovers.
+
+    One controller serves one run: it keeps a cursor into the (sorted)
+    event list, the VC/length book-keeping of currently failed links, and
+    the live-packet watch sets behind the per-batch recovery latencies.
+    """
+
+    def __init__(
+        self,
+        design: NocDesign,
+        schedule: EventSchedule,
+        *,
+        mode: str = MODE_REMOVAL,
+        congestion_factor: float = 0.5,
+    ):
+        if mode not in _MODES:
+            raise SimulationError(
+                f"unknown fault recovery mode {mode!r}; valid: {', '.join(_MODES)}"
+            )
+        self.design = design
+        self.mode = mode
+        self.congestion_factor = congestion_factor
+        self._events = schedule.events
+        self._cursor = 0
+        #: Links currently failed: link -> (vc_count, length_mm or None).
+        self._failed: Dict[Link, Tuple[int, Optional[float]]] = {}
+        #: Active recovery watches: (stats index, batch cycle, live pids).
+        self._watches: List[Tuple[int, int, Set[int]]] = []
+        #: Links removed by the batch currently being applied.
+        self._batch_removed: List[Link] = []
+
+    # ------------------------------------------------------------------
+    # topology surgery
+    # ------------------------------------------------------------------
+    def _fail_link(self, link: Link) -> bool:
+        topology = self.design.topology
+        if not topology.has_link(link):
+            return False
+        self._failed[link] = (
+            topology.vc_count(link),
+            topology.link_length(link, None),
+        )
+        topology.remove_link(link)
+        self._batch_removed.append(link)
+        return True
+
+    def _restore_link(self, link: Link) -> bool:
+        topology = self.design.topology
+        if link not in self._failed or topology.has_link(link):
+            return False
+        vc_count, length_mm = self._failed.pop(link)
+        topology.add_link(
+            link.src, link.dst, index=link.index, vc_count=vc_count, length_mm=length_mm
+        )
+        return True
+
+    def _apply_event(self, event) -> bool:
+        topology = self.design.topology
+        if event.action == "fail_link":
+            return self._fail_link(event.link)
+        if event.action == "restore_link":
+            return self._restore_link(event.link)
+        if event.action == "fail_router":
+            if not topology.has_switch(event.switch):
+                return False
+            changed = False
+            for link in topology.in_links(event.switch) + topology.out_links(event.switch):
+                changed |= self._fail_link(link)
+            return changed
+        # restore_router
+        changed = False
+        for link in sorted(self._failed):
+            if link.src == event.switch or link.dst == event.switch:
+                changed |= self._restore_link(link)
+        return changed
+
+    # ------------------------------------------------------------------
+    # recovery pipeline
+    # ------------------------------------------------------------------
+    def _reroute(self, context: DesignContext) -> None:
+        """Re-route every unrouted flow against the degraded topology.
+
+        Mirrors the synthesis routing pass: flows in descending-bandwidth
+        order, surviving routes committed first so the congestion weights
+        the re-routed flows see reflect the traffic that is actually
+        staying put.  A flow with no remaining path stays unrouted (its
+        future packets are lost at injection).
+        """
+        design = self.design
+        routes = design.routes
+        router = IndexedRouter(
+            design.topology,
+            congestion_factor=self.congestion_factor,
+            total_bandwidth=max(design.traffic.total_bandwidth, 1e-9),
+            graph=context.graph(),
+        )
+        flows = sorted(design.traffic.flows, key=lambda f: (-f.bandwidth, f.name))
+        unrouted = []
+        for flow in flows:
+            if routes.has_route(flow.name):
+                router.commit(routes.route(flow.name), flow.bandwidth)
+            elif design.switch_of(flow.src) != design.switch_of(flow.dst):
+                unrouted.append(flow)
+        for flow in unrouted:
+            try:
+                route = router.route(
+                    design.switch_of(flow.src), design.switch_of(flow.dst)
+                )
+            except RouteError:
+                continue
+            routes.set_route(flow.name, route)
+            router.commit(route, flow.bandwidth)
+
+    def on_cycle(self, cycle: int, network, stats) -> None:
+        """Apply every event due at (or before) ``cycle``, then recover."""
+        events = self._events
+        due = []
+        while self._cursor < len(events) and events[self._cursor].cycle <= cycle:
+            due.append(events[self._cursor])
+            self._cursor += 1
+        if not due:
+            return
+        stats.fault_events_applied += len(due)
+
+        design = self.design
+        routes = design.routes
+        old_routes = {name: routes.route(name) for name in routes.flow_names}
+
+        self._batch_removed = []
+        changed_topology = False
+        for event in due:
+            changed_topology |= self._apply_event(event)
+        removed = self._batch_removed
+        if not changed_topology:
+            return
+
+        context = DesignContext.of(design)
+        context.notify_topology_changed()
+        for link in removed:
+            for name in routes.flows_using_link(link):
+                routes.remove_route(name)
+
+        self._reroute(context)
+        route_changed = routes.flow_names != sorted(old_routes) or any(
+            routes.route(name) != old_routes[name] for name in routes.flow_names
+        )
+        if route_changed and self.mode == MODE_REMOVAL:
+            remove_deadlocks(
+                design,
+                in_place=True,
+                engine="context",
+                validate=False,
+                count_initial_cycles=False,
+            )
+
+        # Resilience book-keeping against the *final* post-recovery routes.
+        doomed = []
+        rerouted = 0
+        for name, old_route in old_routes.items():
+            if not routes.has_route(name):
+                doomed.append(name)
+                rerouted += 1
+            elif routes.route(name) != old_route:
+                doomed.append(name)
+                rerouted += 1
+        for name in routes.flow_names:
+            if name not in old_routes:
+                rerouted += 1
+        stats.flows_rerouted += rerouted
+
+        dropped_packets, dropped_flits = network.drop_flows(doomed)
+        stats.packets_lost += dropped_packets
+        stats.flits_lost += dropped_flits
+        network.sync_with_design()
+
+        acyclic = count_cycles(build_cdg(design), limit=1) == 0
+        stats.post_fault_deadlock_free = (
+            acyclic
+            if stats.post_fault_deadlock_free is None
+            else stats.post_fault_deadlock_free and acyclic
+        )
+
+        survivors = network.live_packet_ids()
+        index = len(stats.recovery_cycles)
+        if survivors:
+            stats.recovery_cycles.append(-1)
+            self._watches.append((index, cycle, survivors))
+        else:
+            stats.recovery_cycles.append(0)
+
+    def after_step(self, cycle: int, network, stats) -> None:
+        """Advance the recovery-latency watches after one network step."""
+        if not self._watches:
+            return
+        remaining = []
+        for index, batch_cycle, pids in self._watches:
+            pids = {pid for pid in pids if network.is_packet_live(pid)}
+            if pids:
+                remaining.append((index, batch_cycle, pids))
+            else:
+                stats.recovery_cycles[index] = cycle - batch_cycle + 1
+        self._watches = remaining
+
+    def finalise(self, stats) -> None:
+        """End-of-run hook: undrained watches keep their ``-1`` marker."""
+        self._watches.clear()

@@ -31,7 +31,7 @@ and raises on any divergence.  Traffic comes from the
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, Optional
 
 from repro.api.registry import simulation_engines, traffic_scenarios
@@ -40,6 +40,7 @@ from repro.model.design import NocDesign
 from repro.model.validation import validate_design
 from repro.power.orion import TechnologyParameters
 from repro.simulation.deadlock import DeadlockMonitor
+from repro.simulation.events import EventSchedule
 from repro.simulation.network import WormholeNetwork
 from repro.simulation.stats import SimulationStats
 
@@ -74,6 +75,15 @@ class SimulationConfig:
     scenario_params:
         Extra keyword arguments for the scenario's generator factory
         (e.g. ``{"factor": 8.0}`` for ``hotspot``).
+    fault_schedule:
+        Optional :class:`~repro.simulation.events.EventSchedule` of
+        link/router failures to inject mid-run.  The simulator then works
+        on a private copy of the design (recovery mutates topology and
+        routes) and a cross-check re-run replays the same schedule.
+    fault_recovery:
+        ``"removal"`` (default) re-runs deadlock removal after every
+        recovery re-route; ``"reroute"`` skips it, leaving whatever CDG
+        the re-router produced (used to study unprotected degradation).
     """
 
     buffer_depth: int = 4
@@ -83,6 +93,8 @@ class SimulationConfig:
     tech: TechnologyParameters = TechnologyParameters()
     traffic_scenario: str = "flows"
     scenario_params: Dict[str, Any] = field(default_factory=dict)
+    fault_schedule: Optional[EventSchedule] = None
+    fault_recovery: str = "removal"
 
 
 def make_traffic_generator(design: NocDesign, config: SimulationConfig):
@@ -107,6 +119,19 @@ class Simulator:
     def __init__(self, design: NocDesign, config: Optional[SimulationConfig] = None):
         self.config = config or SimulationConfig()
         validate_design(design)
+        self._recovery = None
+        schedule = self.config.fault_schedule
+        if schedule is not None and len(schedule):
+            # Fault recovery mutates the topology and routes mid-run; the
+            # caller's design (and the legacy cross-check re-run, which
+            # replays the same schedule from its own fresh copy) must keep
+            # seeing the original.
+            design = design.copy()
+            from repro.simulation.recovery import RecoveryController
+
+            self._recovery = RecoveryController(
+                design, schedule, mode=self.config.fault_recovery
+            )
         self.design = design
         self.network = self._build_network(design)
         self.generator = make_traffic_generator(design, self.config)
@@ -125,7 +150,7 @@ class Simulator:
             src_switch = self.design.switch_of(flow.src)
             dst_switch = self.design.switch_of(flow.dst)
             self.stats.packets_injected += 1
-            if src_switch == dst_switch or not packet.route:
+            if src_switch == dst_switch:
                 # Core-to-core traffic behind the same switch never enters
                 # the network: deliver immediately through the local NI.
                 packet.delivered_cycle = cycle + 1
@@ -133,6 +158,13 @@ class Simulator:
                 self.stats.local_deliveries += 1
                 self.stats.flits_delivered += packet.size_flits
                 self.stats.latencies.append(packet.latency)
+                continue
+            if not packet.route:
+                # Only reachable under fault injection: the flow has no
+                # route in the degraded topology, so its traffic is lost
+                # at the network interface.
+                self.stats.packets_lost += 1
+                self.stats.flits_lost += packet.size_flits
                 continue
             self.network.inject(packet)
 
@@ -154,11 +186,16 @@ class Simulator:
         counter, so a run that drains early never pays a per-cycle walk
         over every router's buffers and injection queues.
         """
+        recovery = self._recovery
         deadlock_channels = None
         for _ in range(max_cycles):
+            if recovery is not None:
+                recovery.on_cycle(self._cycle, self.network, self.stats)
             self._inject_new_packets(self._cycle)
             transfers = self.network.step(self._cycle, self.stats)
             deadlock_channels = self.monitor.record_cycle(self.network, transfers)
+            if recovery is not None:
+                recovery.after_step(self._cycle, self.network, self.stats)
             self._cycle += 1
             if deadlock_channels is not None:
                 break
@@ -167,12 +204,20 @@ class Simulator:
             for _ in range(drain_cycles):
                 if self.network.undelivered_flits == 0:
                     break
+                # Events still pending once the drain completes are never
+                # applied (the run is over as far as traffic is concerned).
+                if recovery is not None:
+                    recovery.on_cycle(self._cycle, self.network, self.stats)
                 transfers = self.network.step(self._cycle, self.stats)
                 deadlock_channels = self.monitor.record_cycle(self.network, transfers)
+                if recovery is not None:
+                    recovery.after_step(self._cycle, self.network, self.stats)
                 self._cycle += 1
                 if deadlock_channels is not None:
                     break
 
+        if recovery is not None:
+            recovery.finalise(self.stats)
         self.stats.cycles_run = self._cycle
         if deadlock_channels is not None:
             self.stats.deadlock_cycle = self._cycle
@@ -241,6 +286,7 @@ def simulate_design(
     cross_check: bool = False,
     drain: bool = True,
     drain_cycles: int = 5_000,
+    fault_schedule=None,
 ) -> SimulationStats:
     """One-call convenience wrapper around the pluggable simulation engines.
 
@@ -249,8 +295,23 @@ def simulate_design(
     additionally runs the reference ``"legacy"`` engine with an identical
     fresh configuration and raises :class:`~repro.errors.SimulationError`
     when any :class:`SimulationStats` field diverges.
+
+    ``fault_schedule`` accepts anything
+    :meth:`~repro.simulation.events.EventSchedule.from_spec` does — an
+    :class:`~repro.simulation.events.EventSchedule`, an explicit
+    ``{"events": [...]}`` document, or a ``{"random": {...}}`` request
+    resolved against the design's topology with the config's seed — and
+    overrides :attr:`SimulationConfig.fault_schedule`.  The cross-check
+    re-run replays the identical schedule.
     """
     config = config or SimulationConfig()
+    if fault_schedule is not None:
+        config = replace(
+            config,
+            fault_schedule=EventSchedule.from_spec(
+                fault_schedule, topology=design.topology, seed=config.seed
+            ),
+        )
     simulator = build_simulator(design, config, engine=engine)
     run_kwargs = dict(
         drain=drain, drain_cycles=drain_cycles, raise_on_deadlock=raise_on_deadlock

@@ -23,6 +23,26 @@ class SimulationStats:
     channel_busy_cycles: Dict[Channel, int] = field(default_factory=dict)
     deadlock_cycle: Optional[int] = None
     deadlocked_channels: List[Channel] = field(default_factory=list)
+    # --- resilience metrics (all stay at their defaults in fault-free
+    # runs, so healthy statistics compare identically to older records) ---
+    #: Fault events actually applied during the run (events scheduled past
+    #: the end of the simulation are never consumed).
+    fault_events_applied: int = 0
+    #: Packets dropped by recovery (in-flight on a re-routed/unroutable
+    #: flow) or lost at injection (flow unroutable in the degraded topology).
+    packets_lost: int = 0
+    #: Flits belonging to lost packets (undelivered at the time of loss).
+    flits_lost: int = 0
+    #: Flow reroute events: flows whose route changed (or vanished) across
+    #: a fault batch, summed over all applied batches.
+    flows_rerouted: int = 0
+    #: Per applied fault batch: cycles until every packet that was in
+    #: flight when the batch hit had left the network (-1 = never did
+    #: before the run ended).
+    recovery_cycles: List[int] = field(default_factory=list)
+    #: AND over all applied batches of "the degraded CDG is acyclic after
+    #: recovery"; ``None`` when no batch was applied.
+    post_fault_deadlock_free: Optional[bool] = None
 
     @property
     def deadlock_detected(self) -> bool:
@@ -68,6 +88,23 @@ class SimulationStats:
             f"  average latency   : {self.average_latency:.1f} cycles",
             f"  throughput        : {self.throughput_flits_per_cycle:.3f} flits/cycle",
         ]
+        if self.fault_events_applied:
+            recovered = [c for c in self.recovery_cycles if c >= 0]
+            mean_recovery = (
+                sum(recovered) / len(recovered) if recovered else 0.0
+            )
+            lines.extend(
+                [
+                    f"  fault events      : {self.fault_events_applied}",
+                    f"  packets lost      : {self.packets_lost} "
+                    f"({self.flits_lost} flits)",
+                    f"  flows rerouted    : {self.flows_rerouted}",
+                    f"  mean recovery     : {mean_recovery:.1f} cycles "
+                    f"({len(recovered)}/{len(self.recovery_cycles)} batches drained)",
+                    f"  post-fault CDG    : "
+                    f"{'acyclic' if self.post_fault_deadlock_free else 'CYCLIC'}",
+                ]
+            )
         if self.deadlock_detected:
             lines.append(
                 f"  DEADLOCK at cycle {self.deadlock_cycle} "

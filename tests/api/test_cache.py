@@ -143,3 +143,70 @@ class TestTempFileSweep:
         cache.put("result", KEY, {"x": 1})
         assert cache.get("result", KEY) == {"x": 1}
         assert raised["count"] == 1
+
+
+class TestQuarantine:
+    def test_truncated_record_is_quarantined_and_recomputable(self, tmp_path):
+        # The regression the quarantine exists for: a worker killed
+        # mid-write (or a bad disk) leaves a truncated result record; the
+        # next reader must treat it as a miss, move the evidence aside and
+        # let the recompute land on a clean path.
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("result", KEY, {"x": 1})
+        path.write_text('{"x": 1')  # truncated JSON
+        assert cache.get("result", KEY) is None
+        assert cache.misses == 1
+        assert cache.quarantined == 1
+        assert not path.exists()
+        quarantined = tmp_path / "corrupt" / path.name
+        assert quarantined.read_text() == '{"x": 1'
+        # The recompute writes and reads back normally.
+        cache.put("result", KEY, {"x": 2})
+        assert cache.get("result", KEY) == {"x": 2}
+
+    def test_corrupt_design_record_is_quarantined_too(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("design", KEY, {"routes": {}})
+        path.write_text("not json at all")
+        assert cache.get("design", KEY) is None
+        assert cache.quarantined == 1
+        assert (tmp_path / "corrupt" / path.name).exists()
+
+    def test_plain_miss_is_not_quarantined(self, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        assert cache.get("result", KEY) is None
+        assert cache.quarantined == 0
+        assert not (tmp_path / "corrupt").exists()
+
+    def test_unreadable_entry_is_quarantined(self, tmp_path, monkeypatch):
+        # An I/O error that is not FileNotFoundError (EIO, permission loss)
+        # counts as corrupt, not as absent.
+        from pathlib import Path
+
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("result", KEY, {"x": 1})
+        real_read_text = Path.read_text
+
+        def failing_read_text(self, *args, **kwargs):
+            if self == path:
+                raise OSError("I/O error")
+            return real_read_text(self, *args, **kwargs)
+
+        monkeypatch.setattr(Path, "read_text", failing_read_text)
+        assert cache.get("result", KEY) is None
+        assert cache.misses == 1
+        assert cache.quarantined == 1
+
+    def test_failed_quarantine_move_still_misses(self, tmp_path, monkeypatch):
+        import os as os_module
+
+        cache = ArtifactCache(tmp_path)
+        path = cache.put("result", KEY, {"x": 1})
+        path.write_text("{bad")
+
+        def failing_replace(src, dst):
+            raise OSError("read-only filesystem")
+
+        monkeypatch.setattr("repro.api.cache.os.replace", failing_replace)
+        assert cache.get("result", KEY) is None
+        assert cache.quarantined == 0

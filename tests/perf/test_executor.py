@@ -69,19 +69,19 @@ class TestParallelMap:
         with pytest.raises(ValueError):
             parallel_map(failing, [1, 2, 3, 4], jobs=2)
 
-    def test_broken_pool_warns_about_discarded_partials_and_reruns(self):
-        # A worker dying mid-run breaks the pool; parallel_map must say how
-        # many already-computed results it is discarding (their side effects
-        # will run twice in the serial retry) instead of silently retrying.
+    def test_broken_pool_keeps_completed_results_and_retries_the_rest(self):
+        # A worker dying mid-run breaks the pool; parallel_map must keep
+        # whatever completed and re-dispatch only the unfinished items
+        # instead of rerunning the whole batch serially.
         import os
 
         pid = os.getpid()
         items = [("a", pid), ("b", pid), ("boom", pid), ("c", pid)]
-        with pytest.warns(RuntimeWarning, match="discarding"):
+        with pytest.warns(RuntimeWarning, match="unfinished"):
             results = parallel_map(exit_in_worker, items, jobs=2)
         assert results == ["a", "b", "boom", "c"]
 
-    def test_broken_pool_warning_reports_completed_count(self):
+    def test_broken_pool_warning_reports_unfinished_count(self):
         import os
         import warnings as warnings_module
 
@@ -92,5 +92,43 @@ class TestParallelMap:
             results = parallel_map(exit_in_worker, items, jobs=2)
         assert results == ["a", "b", "c", "d", "boom"]
         messages = [str(w.message) for w in caught if w.category is RuntimeWarning]
-        assert any("of 5 item(s) completed" in m for m in messages)
-        assert any("run twice" in m for m in messages)
+        assert any("of 5 item(s) unfinished" in m for m in messages)
+        assert any("completed results are kept" in m for m in messages)
+
+    def test_attempts_out_counts_retries(self):
+        # The "boom" item dies in every pool: one initial pool round, one
+        # bounded retry round, then the serial fallback in this process.
+        import os
+
+        pid = os.getpid()
+        items = [("a", pid), ("boom", pid)]
+        attempts = []
+        with pytest.warns(RuntimeWarning):
+            results = parallel_map(
+                exit_in_worker, items, jobs=2, retries=1, attempts_out=attempts
+            )
+        assert results == ["a", "boom"]
+        assert attempts[items.index(("boom", pid))] == 3
+        assert all(count >= 1 for count in attempts)
+
+    def test_retries_zero_goes_straight_to_serial(self):
+        import os
+
+        pid = os.getpid()
+        items = [("boom", pid)] * 1 + [("a", pid), ("b", pid)]
+        attempts = []
+        with pytest.warns(RuntimeWarning):
+            results = parallel_map(
+                exit_in_worker, items, jobs=2, retries=0, attempts_out=attempts
+            )
+        assert results == ["boom", "a", "b"]
+        # One pool round then serial: never a second pool for the dead item.
+        assert attempts[0] == 2
+
+    def test_attempts_out_all_ones_on_clean_runs(self):
+        for jobs in (1, 3):
+            attempts = []
+            assert parallel_map(
+                square, [1, 2, 3], jobs=jobs, attempts_out=attempts
+            ) == [1, 4, 9]
+            assert attempts == [1, 1, 1]
