@@ -161,7 +161,7 @@ class ArtifactCache:
         removed = 0
         if not self.root.is_dir():
             return removed
-        cutoff = time.time() - min_age_seconds
+        cutoff = time.time() - min_age_seconds  # noc-lint: disable=det-wallclock - age math against file mtimes needs the wall clock; never feeds results
         for path in self.root.rglob("*.tmp"):
             try:
                 if path.stat().st_mtime <= cutoff:

@@ -306,6 +306,15 @@ _SIM_FIELD_DEFAULTS = tuple(
     if spec_field.name in _SIM_AXIS_FIELDS
 )
 
+#: Fields deliberately left out of :meth:`RunSpec.fingerprint`.  Empty on
+#: purpose: every field of this spec changes the result, so every field is
+#: content-addressed.  A field that genuinely must not re-key the cache
+#: (e.g. a pure progress-reporting knob) is elided by naming it here, which
+#: is the explicit allowlist the ``fingerprint-completeness`` lint rule
+#: checks — an un-listed, un-fingerprinted field fails ``noc-deadlock
+#: lint``.
+FINGERPRINT_ELIDED: tuple = ()
+
 
 # ----------------------------------------------------------------------
 # Grid expansion

@@ -10,7 +10,9 @@ Installed as ``noc-deadlock``.  Subcommands:
 * ``benchmarks``— list the available SoC benchmarks;
 * ``figures``   — regenerate the data behind the paper's figures;
 * ``run``       — execute a declarative experiment plan (JSON), with an
-  artifact cache so repeated sweeps reuse earlier work.
+  artifact cache so repeated sweeps reuse earlier work;
+* ``lint``      — run the AST-based invariant checker (``repro.lint``)
+  over the sources; exits non-zero on any non-baselined finding.
 
 Every subcommand is a thin adapter over the library — ``figures`` and
 ``run`` both go through :mod:`repro.api`, so a plan holding the figure
@@ -212,6 +214,40 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_lint(args: argparse.Namespace) -> int:
+    from repro.lint import lint_paths, save_baseline  # local: lint-only import
+
+    baseline: Optional[Path] = None
+    if not args.no_baseline:
+        baseline = Path(args.baseline)
+    report = lint_paths(
+        args.paths,
+        root=Path.cwd(),
+        tests_dir=args.tests_dir,
+        baseline=baseline,
+        rules=args.rules.split(",") if args.rules else None,
+    )
+    if args.update_baseline:
+        if baseline is None:
+            raise SystemExit("--update-baseline requires a baseline file (drop --no-baseline)")
+        save_baseline(baseline, report.findings)
+        print(f"wrote {len(report.findings)} finding(s) to {baseline}")
+        return 0
+    if args.format == "json":
+        print(json.dumps(report.to_dict(), indent=2))
+    else:
+        for finding in report.new_findings:
+            print(finding.render())
+        summary = (
+            f"{report.checked_files} file(s) checked: "
+            f"{len(report.new_findings)} new finding(s), "
+            f"{len(report.grandfathered)} baselined, "
+            f"{len(report.suppressed)} suppressed"
+        )
+        print(summary, file=sys.stderr)
+    return 0 if report.ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """The CLI argument parser (exposed for tests and documentation tools)."""
     parser = argparse.ArgumentParser(
@@ -349,6 +385,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the full result document (specs, results, reports) as JSON",
     )
     p.set_defaults(func=_cmd_run)
+
+    p = sub.add_parser(
+        "lint",
+        help="run the AST-based invariant checker over the sources",
+    )
+    p.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    p.add_argument(
+        "--format",
+        choices=["human", "json"],
+        default="human",
+        help="output format (default: human; json prints the full report)",
+    )
+    p.add_argument(
+        "--baseline",
+        default="lint-baseline.json",
+        help="grandfathered-findings file (default: lint-baseline.json)",
+    )
+    p.add_argument(
+        "--no-baseline",
+        action="store_true",
+        help="compare against an empty baseline — every finding is new",
+    )
+    p.add_argument(
+        "--update-baseline",
+        action="store_true",
+        help="rewrite the baseline from the current findings and exit 0",
+    )
+    p.add_argument(
+        "--tests-dir",
+        default="tests",
+        help="test tree cross-referencing rules scan (default: tests)",
+    )
+    p.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all registered)",
+    )
+    p.set_defaults(func=_cmd_lint)
     return parser
 
 

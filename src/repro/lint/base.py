@@ -1,0 +1,110 @@
+"""The rule framework: file/project contexts and the :class:`LintRule` base.
+
+A rule is a class registered in :data:`lint_rules` (the same decorator
+:class:`~repro.api.registry.Registry` the engine and scenario registries
+use).  The engine instantiates every registered rule once per run, calls
+:meth:`LintRule.check_file` with a parsed :class:`FileContext` for each
+linted file, then :meth:`LintRule.finalize` once with the whole
+:class:`ProjectContext` — per-file rules implement only the former,
+whole-project rules (e.g. registry/test cross-referencing) only the latter.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Iterable, List, Optional, Tuple
+
+from repro.api.registry import Registry
+from repro.lint.findings import Finding
+
+#: All lint rules, by rule id.  The provider module registers the built-ins
+#: lazily, exactly like the engine registries.
+lint_rules = Registry("lint rule", provider="repro.lint.rules")
+
+
+@dataclass
+class FileContext:
+    """One parsed source file, as the per-file rules see it.
+
+    Attributes
+    ----------
+    path:
+        Absolute path on disk.
+    rel_path:
+        POSIX path relative to the lint root — the path findings carry.
+    source:
+        Full file text.
+    lines:
+        ``source.splitlines()`` (1-based access via ``lines[line - 1]``).
+    tree:
+        The parsed :class:`ast.Module`.
+    module:
+        Best-effort dotted module name (``repro.api.spec``) derived from
+        the path, or ``None`` when the file is not under a package root.
+    """
+
+    path: Path
+    rel_path: str
+    source: str
+    lines: List[str]
+    tree: ast.Module
+    module: Optional[str] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def parts(self) -> Tuple[str, ...]:
+        """Path components of :attr:`rel_path` (for location allowlists)."""
+        return tuple(self.rel_path.split("/"))
+
+    def finding(self, node: ast.AST, rule: str, message: str) -> Finding:
+        """A :class:`Finding` anchored at ``node`` in this file."""
+        return Finding(
+            path=self.rel_path,
+            line=getattr(node, "lineno", 0),
+            col=getattr(node, "col_offset", 0),
+            rule=rule,
+            message=message,
+        )
+
+
+@dataclass
+class ProjectContext:
+    """Everything a whole-project rule can see after the per-file pass.
+
+    ``files`` are the linted sources; ``test_files`` are parsed test
+    modules (never linted themselves — tests may construct engines
+    directly) provided so cross-referencing rules can pair registrations
+    with test coverage.
+    """
+
+    root: Path
+    files: List[FileContext] = field(default_factory=list)
+    test_files: List[FileContext] = field(default_factory=list)
+
+
+class LintRule:
+    """Base class of every lint rule.
+
+    Subclasses set :attr:`rule_id` (the identifier findings carry and
+    suppression comments name) and :attr:`description`, then override
+    :meth:`check_file` and/or :meth:`finalize`.  Both default to "no
+    findings", so a rule implements only the granularity it needs.
+
+    Rules must be stateless across runs — the engine constructs a fresh
+    instance per :func:`repro.lint.engine.lint_paths` call, so per-run
+    accumulation in ``self`` (e.g. collecting registrations for
+    :meth:`finalize`) is safe.
+    """
+
+    rule_id: str = ""
+    description: str = ""
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        """Findings of this rule in one file (default: none)."""
+        return ()
+
+    def finalize(self, project: ProjectContext) -> Iterable[Finding]:
+        """Whole-project findings after every file was checked (default: none)."""
+        return ()

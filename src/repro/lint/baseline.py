@@ -1,0 +1,82 @@
+"""The checked-in baseline: grandfathered findings that do not fail the build.
+
+The baseline is a JSON document (``lint-baseline.json`` at the repo root)
+listing findings that predate a rule and are accepted until someone pays
+the cleanup down.  ``noc-deadlock lint`` subtracts the baseline from the
+current findings — only *new* findings fail the run — and
+``--update-baseline`` rewrites the file from the current state.
+
+Matching is a multiset over :meth:`Finding.baseline_key` (rule, path,
+message) — line numbers are excluded so unrelated edits that shift a
+grandfathered finding do not break the match, while a *second* occurrence
+of the same message in the same file still counts as new.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import List, Sequence, Tuple, Union
+
+from repro.errors import ReproError
+from repro.lint.findings import FINDINGS_FORMAT_VERSION, Finding
+
+
+class BaselineError(ReproError):
+    """Raised when a baseline file cannot be read or has the wrong shape."""
+
+
+def load_baseline(path: Union[str, Path]) -> List[Finding]:
+    """Parse a baseline file into findings (missing file = empty baseline)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as exc:
+        raise BaselineError(f"could not read baseline {path}: {exc}") from exc
+    if not isinstance(data, dict) or not isinstance(data.get("findings"), list):
+        raise BaselineError(f"baseline {path} must be a JSON object with a 'findings' list")
+    version = data.get("format_version", FINDINGS_FORMAT_VERSION)
+    if version != FINDINGS_FORMAT_VERSION:
+        raise BaselineError(
+            f"unsupported baseline format version {version} "
+            f"(expected {FINDINGS_FORMAT_VERSION})"
+        )
+    try:
+        return [Finding.from_dict(entry) for entry in data["findings"]]
+    except (KeyError, TypeError, ValueError) as exc:
+        raise BaselineError(f"malformed baseline entry in {path}: {exc}") from exc
+
+
+def save_baseline(path: Union[str, Path], findings: Sequence[Finding]) -> Path:
+    """Write ``findings`` as the new baseline (sorted, stable on disk)."""
+    path = Path(path)
+    document = {
+        "format_version": FINDINGS_FORMAT_VERSION,
+        "findings": [finding.to_dict() for finding in sorted(findings)],
+    }
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return path
+
+
+def diff_against_baseline(
+    findings: Sequence[Finding], baseline: Sequence[Finding]
+) -> Tuple[List[Finding], List[Finding]]:
+    """Split ``findings`` into (new, grandfathered) against ``baseline``.
+
+    Multiset semantics: a baseline entry absorbs exactly one matching
+    finding, so duplicates beyond the grandfathered count surface as new.
+    """
+    budget = Counter(entry.baseline_key() for entry in baseline)
+    new: List[Finding] = []
+    grandfathered: List[Finding] = []
+    for finding in findings:
+        key = finding.baseline_key()
+        if budget.get(key, 0) > 0:
+            budget[key] -= 1
+            grandfathered.append(finding)
+        else:
+            new.append(finding)
+    return new, grandfathered

@@ -1,0 +1,323 @@
+"""Determinism rules: all randomness flows from an explicit seed.
+
+The whole experiment API rests on :meth:`RunSpec.fingerprint` addressing a
+*pure function of the spec*: two runs of one spec must produce identical
+artifacts, or the shared cache serves poison.  These rules catch the three
+ways that purity classically rots:
+
+* ``det-global-random`` — using the shared module-level RNG
+  (``random.random()``, ``random.shuffle``, ``from random import choice``)
+  instead of a ``random.Random(seed)`` instance threaded from
+  :attr:`RunSpec.seed`;
+* ``det-unseeded-rng`` — constructing ``random.Random()`` with no seed
+  (seeded by OS entropy, different every run);
+* ``det-wallclock`` — reading the wall clock (``time.time``,
+  ``datetime.now``) outside the top-level ``benchmarks/`` timing scripts
+  (durations belong to ``time.perf_counter``/``monotonic``, which these
+  rules deliberately allow);
+* ``det-set-order`` — iterating a ``set``/``frozenset`` (or feeding one to
+  ``join``/``list``/``tuple``/``enumerate``) where the order reaches
+  output, without a ``sorted(...)`` wrapper.  Set iteration order depends
+  on insertion history and string hash randomization, so it must never
+  feed canonical JSON, error messages or serialized documents.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List, Optional, Set
+
+from repro.lint.base import FileContext, LintRule, lint_rules
+from repro.lint.findings import Finding
+
+
+def _module_aliases(tree: ast.Module, module: str) -> Set[str]:
+    """Local names ``module`` is importable under (``import random as rnd``)."""
+    aliases: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == module:
+                    aliases.add(alias.asname or alias.name)
+    return aliases
+
+
+@lint_rules.register("det-global-random")
+class GlobalRandomRule(LintRule):
+    """Uses of the module-level RNG instead of a seeded instance."""
+
+    rule_id = "det-global-random"
+    description = (
+        "randomness must come from a random.Random(seed) instance threaded "
+        "from RunSpec.seed, never the shared module-level RNG"
+    )
+
+    #: ``random.`` attributes that are fine to touch: the seedable class
+    #: itself (SystemRandom is deliberately absent — OS entropy is the bug).
+    ALLOWED_ATTRS = frozenset({"Random"})
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        aliases = _module_aliases(ctx.tree, "random")
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ImportFrom) and node.module == "random":
+                for alias in node.names:
+                    if alias.name not in self.ALLOWED_ATTRS:
+                        findings.append(
+                            ctx.finding(
+                                node,
+                                self.rule_id,
+                                f"'from random import {alias.name}' binds the "
+                                "shared module-level RNG; import Random and "
+                                "seed an instance explicitly",
+                            )
+                        )
+            if (
+                isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id in aliases
+                and node.attr not in self.ALLOWED_ATTRS
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"'random.{node.attr}' uses the shared module-level "
+                        "RNG; draw from a random.Random(seed) instance "
+                        "threaded from RunSpec.seed",
+                    )
+                )
+        return findings
+
+
+@lint_rules.register("det-unseeded-rng")
+class UnseededRngRule(LintRule):
+    """``random.Random()`` constructed without an explicit seed."""
+
+    rule_id = "det-unseeded-rng"
+    description = "random.Random() without a seed draws OS entropy — pass a seed"
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        aliases = _module_aliases(ctx.tree, "random")
+        from_imports = {
+            alias.asname or alias.name
+            for node in ast.walk(ctx.tree)
+            if isinstance(node, ast.ImportFrom) and node.module == "random"
+            for alias in node.names
+            if alias.name == "Random"
+        }
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call) or node.args or node.keywords:
+                continue
+            func = node.func
+            is_random_class = (
+                isinstance(func, ast.Attribute)
+                and func.attr == "Random"
+                and isinstance(func.value, ast.Name)
+                and func.value.id in aliases
+            ) or (isinstance(func, ast.Name) and func.id in from_imports)
+            if is_random_class:
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        "random.Random() without a seed is entropy-seeded and "
+                        "differs every run; pass a seed derived from "
+                        "RunSpec.seed",
+                    )
+                )
+        return findings
+
+
+@lint_rules.register("det-wallclock")
+class WallClockRule(LintRule):
+    """Wall-clock reads outside the top-level ``benchmarks/`` scripts."""
+
+    rule_id = "det-wallclock"
+    description = (
+        "time.time/datetime.now read the wall clock; use perf_counter/"
+        "monotonic for durations, or thread timestamps in explicitly"
+    )
+
+    TIME_ATTRS = frozenset({"time", "time_ns"})
+    DATETIME_ATTRS = frozenset({"now", "utcnow", "today"})
+
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        if ctx.parts and ctx.parts[0] == "benchmarks":
+            return ()
+        findings: List[Finding] = []
+        time_aliases = _module_aliases(ctx.tree, "time")
+        datetime_aliases = _module_aliases(ctx.tree, "datetime")
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            value = node.value
+            if (
+                node.attr in self.TIME_ATTRS
+                and isinstance(value, ast.Name)
+                and value.id in time_aliases
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"'time.{node.attr}' reads the wall clock; durations "
+                        "belong to time.perf_counter/monotonic and anything "
+                        "cached must be a pure function of the spec",
+                    )
+                )
+            elif node.attr in self.DATETIME_ATTRS and (
+                (isinstance(value, ast.Name) and value.id == "datetime")
+                or (
+                    isinstance(value, ast.Attribute)
+                    and value.attr in {"datetime", "date"}
+                    and isinstance(value.value, ast.Name)
+                    and value.value.id in datetime_aliases
+                )
+            ):
+                findings.append(
+                    ctx.finding(
+                        node,
+                        self.rule_id,
+                        f"'datetime.{node.attr}' reads the wall clock; thread "
+                        "timestamps in explicitly so cached artifacts stay "
+                        "reproducible",
+                    )
+                )
+        return findings
+
+
+# ----------------------------------------------------------------------
+# det-set-order
+# ----------------------------------------------------------------------
+
+_SET_OP_METHODS = frozenset(
+    {"union", "difference", "intersection", "symmetric_difference"}
+)
+_ORDER_SENSITIVE_BUILTINS = frozenset({"list", "tuple", "enumerate", "iter"})
+
+
+@lint_rules.register("det-set-order")
+class SetOrderRule(LintRule):
+    """Set iteration order reaching order-sensitive output.
+
+    Everywhere, feeding a set straight into ``"...".join`` / ``list`` /
+    ``tuple`` / ``enumerate`` / ``iter`` is flagged.  In the canonical-
+    output modules (:data:`CANONICAL_MODULES` — the ones whose output is
+    hashed, cached or serialized) plain ``for`` loops over sets are flagged
+    too: even an order-independent-looking body tends to grow an append.
+    Wrapping the set in ``sorted(...)`` is the sanctioned fix.
+    """
+
+    rule_id = "det-set-order"
+    description = (
+        "iterating a set feeds arbitrary order into output; wrap in sorted()"
+    )
+
+    #: Modules whose output is canonical (hashed, cached or serialized):
+    #: here even a bare ``for`` over a set is a finding.
+    CANONICAL_MODULES = frozenset(
+        {
+            "repro.api.spec",
+            "repro.api.cache",
+            "repro.api.result",
+            "repro.api.runner",
+            "repro.api.reports",
+            "repro.simulation.events",
+            "repro.model.serialization",
+        }
+    )
+
+    # ------------------------------------------------------------------
+    def _collect_set_names(self, tree: ast.Module) -> Set[str]:
+        """Names bound (anywhere in the file) to an obviously-set expression."""
+        names: Set[str] = set()
+        grew = True
+        while grew:
+            grew = False
+            for node in ast.walk(tree):
+                if isinstance(node, ast.Assign) and self._is_set_expr(node.value, names):
+                    for target in node.targets:
+                        if isinstance(target, ast.Name) and target.id not in names:
+                            names.add(target.id)
+                            grew = True
+                elif (
+                    isinstance(node, ast.AnnAssign)
+                    and node.value is not None
+                    and isinstance(node.target, ast.Name)
+                    and self._is_set_expr(node.value, names)
+                    and node.target.id not in names
+                ):
+                    names.add(node.target.id)
+                    grew = True
+        return names
+
+    def _is_set_expr(self, node: ast.AST, set_names: Set[str]) -> bool:
+        """Conservatively: does ``node`` evaluate to a set?"""
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Name):
+            return node.id in set_names
+        if isinstance(node, ast.Call):
+            func = node.func
+            if isinstance(func, ast.Name) and func.id in {"set", "frozenset"}:
+                return True
+            if (
+                isinstance(func, ast.Attribute)
+                and func.attr in _SET_OP_METHODS
+                and self._is_set_expr(func.value, set_names)
+            ):
+                return True
+            return False
+        if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)
+        ):
+            return self._is_set_expr(node.left, set_names) or self._is_set_expr(
+                node.right, set_names
+            )
+        return False
+
+    # ------------------------------------------------------------------
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        findings: List[Finding] = []
+        set_names = self._collect_set_names(ctx.tree)
+        canonical = ctx.module in self.CANONICAL_MODULES
+
+        def flag(node: ast.AST, what: str) -> None:
+            findings.append(
+                ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{what} iterates a set in arbitrary order; wrap it in "
+                    "sorted(...) so the output is deterministic",
+                )
+            )
+
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                func = node.func
+                if (
+                    isinstance(func, ast.Attribute)
+                    and func.attr == "join"
+                    and node.args
+                    and self._is_set_expr(node.args[0], set_names)
+                ):
+                    flag(node, "str.join over a set")
+                elif (
+                    isinstance(func, ast.Name)
+                    and func.id in _ORDER_SENSITIVE_BUILTINS
+                    and node.args
+                    and self._is_set_expr(node.args[0], set_names)
+                ):
+                    flag(node, f"{func.id}() over a set")
+            elif canonical and isinstance(node, (ast.For, ast.AsyncFor)):
+                if self._is_set_expr(node.iter, set_names):
+                    flag(node, "for-loop over a set in a canonical-output module")
+            elif canonical and isinstance(
+                node, (ast.ListComp, ast.GeneratorExp, ast.DictComp)
+            ):
+                for generator in node.generators:
+                    if self._is_set_expr(generator.iter, set_names):
+                        flag(node, "comprehension over a set in a canonical-output module")
+        return findings

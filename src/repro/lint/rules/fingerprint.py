@@ -1,0 +1,191 @@
+"""Fingerprint completeness: every ``RunSpec`` field is content-addressed.
+
+The artifact cache keys on :meth:`RunSpec.fingerprint`, which hashes the
+canonical ``to_dict()`` form.  A field that exists on the dataclass but
+never reaches ``to_dict()`` silently aliases distinct evaluation points to
+one cache address — the worst class of bug this repo can have, because no
+test fails: the cache just serves the wrong physics.
+
+The rule combines AST analysis with runtime introspection:
+
+* **AST**: the fields of the ``RunSpec`` classdef are read from its
+  annotated assignments; the *covered* names are the string constants
+  reachable from the ``to_dict``/``fingerprint`` method bodies, following
+  module-level constant tuples to a fixpoint (so the
+  ``_SIM_AXIS_FIELDS``-driven elision loop counts as coverage);
+* **runtime**: when the linted file is the real ``repro.api.spec`` module,
+  ``dataclasses.fields(RunSpec)`` is unioned in, so a dynamically injected
+  field cannot hide from the static pass;
+* **elision allowlist**: a field may be *deliberately* excluded from the
+  fingerprint by listing it in the module-level ``FINGERPRINT_ELIDED``
+  tuple — an explicit, reviewable act instead of a silent omission.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, List, Optional, Set
+
+from repro.lint.base import FileContext, LintRule, lint_rules
+from repro.lint.findings import Finding
+
+#: Methods whose bodies define fingerprint coverage.
+_FINGERPRINT_METHODS = ("to_dict", "fingerprint")
+
+#: Module-level tuple naming fields deliberately left out of the fingerprint.
+ELISION_CONSTANT = "FINGERPRINT_ELIDED"
+
+
+def _is_dataclass_def(node: ast.ClassDef) -> bool:
+    for decorator in node.decorator_list:
+        target = decorator.func if isinstance(decorator, ast.Call) else decorator
+        name = target.attr if isinstance(target, ast.Attribute) else getattr(target, "id", "")
+        if name == "dataclass":
+            return True
+    return False
+
+
+def _dataclass_fields(classdef: ast.ClassDef) -> Dict[str, ast.AnnAssign]:
+    """Field name -> defining node, skipping ``ClassVar`` annotations."""
+    fields: Dict[str, ast.AnnAssign] = {}
+    for node in classdef.body:
+        if not isinstance(node, ast.AnnAssign) or not isinstance(node.target, ast.Name):
+            continue
+        annotation = ast.dump(node.annotation)
+        if "ClassVar" in annotation:
+            continue
+        fields[node.target.id] = node
+    return fields
+
+
+def _string_constants(node: ast.AST) -> Set[str]:
+    return {
+        child.value
+        for child in ast.walk(node)
+        if isinstance(child, ast.Constant) and isinstance(child.value, str)
+    }
+
+
+def _referenced_names(node: ast.AST) -> Set[str]:
+    return {child.id for child in ast.walk(node) if isinstance(child, ast.Name)}
+
+
+def _module_assignments(tree: ast.Module) -> Dict[str, ast.AST]:
+    """Module-level ``NAME = <expr>`` assignments (last one wins)."""
+    assigns: Dict[str, ast.AST] = {}
+    for node in tree.body:
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    assigns[target.id] = node.value
+        elif isinstance(node, ast.AnnAssign) and node.value is not None:
+            if isinstance(node.target, ast.Name):
+                assigns[node.target.id] = node.value
+    return assigns
+
+
+@lint_rules.register("fingerprint-completeness")
+class FingerprintCompletenessRule(LintRule):
+    """Every ``RunSpec`` field is fingerprinted or explicitly elided."""
+
+    rule_id = "fingerprint-completeness"
+    description = (
+        "a RunSpec field must appear in the canonical to_dict() form or in "
+        "the FINGERPRINT_ELIDED allowlist — silent omissions alias cache keys"
+    )
+
+    #: Name of the spec dataclass the rule introspects.
+    SPEC_CLASS = "RunSpec"
+
+    #: Module whose runtime dataclass is unioned with the AST fields.
+    RUNTIME_MODULE = "repro.api.spec"
+
+    # ------------------------------------------------------------------
+    def _covered_names(self, classdef: ast.ClassDef, tree: ast.Module) -> Set[str]:
+        """String constants reachable from the fingerprinting methods.
+
+        Seeds with the ``to_dict``/``fingerprint`` bodies, then follows
+        module-level constant assignments referenced from already-covered
+        code to a fixpoint — two levels of indirection like
+        ``_SIM_FIELD_DEFAULTS`` -> ``_SIM_AXIS_FIELDS`` resolve fully.
+        """
+        covered: Set[str] = set()
+        pending: Set[str] = set()
+        for node in classdef.body:
+            if isinstance(node, ast.FunctionDef) and node.name in _FINGERPRINT_METHODS:
+                covered |= _string_constants(node)
+                pending |= _referenced_names(node)
+        assigns = _module_assignments(tree)
+        resolved: Set[str] = set()
+        while pending:
+            name = pending.pop()
+            if name in resolved or name not in assigns:
+                continue
+            resolved.add(name)
+            value = assigns[name]
+            covered |= _string_constants(value)
+            pending |= _referenced_names(value)
+        return covered
+
+    def _elided_names(self, tree: ast.Module) -> Set[str]:
+        value = _module_assignments(tree).get(ELISION_CONSTANT)
+        return _string_constants(value) if value is not None else set()
+
+    def _runtime_fields(self, ctx: FileContext) -> Set[str]:
+        """``dataclasses.fields(RunSpec)`` of the real module, best effort."""
+        if ctx.module != self.RUNTIME_MODULE:
+            return set()
+        try:
+            import dataclasses
+            import importlib
+
+            module = importlib.import_module(self.RUNTIME_MODULE)
+            spec_class = getattr(module, self.SPEC_CLASS)
+            return {spec_field.name for spec_field in dataclasses.fields(spec_class)}
+        except Exception:  # pragma: no cover - introspection is best effort
+            return set()
+
+    # ------------------------------------------------------------------
+    def check_file(self, ctx: FileContext) -> Iterable[Finding]:
+        classdef: Optional[ast.ClassDef] = None
+        for node in ctx.tree.body:
+            if (
+                isinstance(node, ast.ClassDef)
+                and node.name == self.SPEC_CLASS
+                and _is_dataclass_def(node)
+            ):
+                classdef = node
+                break
+        if classdef is None:
+            return ()
+
+        ast_fields = _dataclass_fields(classdef)
+        covered = self._covered_names(classdef, ctx.tree)
+        elided = self._elided_names(ctx.tree)
+        runtime_only = self._runtime_fields(ctx) - set(ast_fields)
+
+        findings: List[Finding] = []
+        for name, node in ast_fields.items():
+            if name in covered or name in elided:
+                continue
+            findings.append(
+                ctx.finding(
+                    node,
+                    self.rule_id,
+                    f"{self.SPEC_CLASS} field '{name}' is neither serialized "
+                    "by to_dict()/fingerprint() nor listed in "
+                    f"{ELISION_CONSTANT}; an unfingerprinted field aliases "
+                    "distinct specs to one cache address",
+                )
+            )
+        for name in sorted(runtime_only - covered - elided):
+            findings.append(
+                ctx.finding(
+                    classdef,
+                    self.rule_id,
+                    f"runtime {self.SPEC_CLASS} field '{name}' (not visible "
+                    "in the class body) is neither fingerprinted nor in "
+                    f"{ELISION_CONSTANT}",
+                )
+            )
+        return findings

@@ -1,0 +1,50 @@
+"""Inline suppressions: ``# noc-lint: disable=<rule>[,<rule>...]``.
+
+A finding is suppressed when the physical line it anchors to carries a
+disable comment naming its rule id (or the wildcard ``all``).  Suppressions
+are same-line only — a comment cannot silence a whole block — so every
+suppression sits visibly next to the code it excuses, ideally with a short
+justification after the directive::
+
+    cutoff = time.time() - min_age  # noc-lint: disable=det-wallclock - mtime math
+"""
+
+from __future__ import annotations
+
+import re
+from typing import FrozenSet, List, Sequence
+
+from repro.lint.findings import Finding
+
+#: Matches the directive anywhere in a comment; group 1 is the rule list.
+_DIRECTIVE = re.compile(r"#\s*noc-lint:\s*disable=([A-Za-z0-9_\-]+(?:\s*,\s*[A-Za-z0-9_\-]+)*)")
+
+#: Wildcard rule id suppressing every rule on the line.
+SUPPRESS_ALL = "all"
+
+
+def suppressed_rules(line: str) -> FrozenSet[str]:
+    """Rule ids disabled on one physical source line (empty when none)."""
+    match = _DIRECTIVE.search(line)
+    if not match:
+        return frozenset()
+    return frozenset(part.strip() for part in match.group(1).split(","))
+
+
+def is_suppressed(finding: Finding, lines: Sequence[str]) -> bool:
+    """True when ``finding``'s anchor line disables its rule."""
+    if not 1 <= finding.line <= len(lines):
+        return False
+    rules = suppressed_rules(lines[finding.line - 1])
+    return finding.rule in rules or SUPPRESS_ALL in rules
+
+
+def split_suppressed(
+    findings: Sequence[Finding], lines: Sequence[str]
+) -> "tuple[List[Finding], List[Finding]]":
+    """Partition ``findings`` into (kept, suppressed) against one file's lines."""
+    kept: List[Finding] = []
+    dropped: List[Finding] = []
+    for finding in findings:
+        (dropped if is_suppressed(finding, lines) else kept).append(finding)
+    return kept, dropped

@@ -47,7 +47,7 @@ from repro.model.design import NocDesign
 from repro.model.routes import Route
 from repro.perf.cdg_index import CDGIndex
 from repro.perf.cost_index import CycleCostEngine
-from repro.perf.route_engine import SwitchGraph
+from repro.perf.route_engine import IndexedRouter, SwitchGraph
 
 #: Attribute name the per-design context is cached under on the design.
 _CONTEXT_ATTR = "_design_context"
@@ -194,6 +194,29 @@ class DesignContext:
         self._graph_link_count = topology.link_count
         counters.graph_builds += 1
         return self._graph
+
+    def router(
+        self,
+        *,
+        congestion_factor: float = 0.0,
+        total_bandwidth: float = 1.0,
+    ) -> IndexedRouter:
+        """A congestion-aware :class:`IndexedRouter` over the cached graph.
+
+        The construction point for routing engines on this design: callers
+        outside the perf layer take a router from the context instead of
+        naming the engine class, so the engine choice and the graph it
+        runs on share one owner (and the rest of the tree can honour the
+        ``registry-discipline`` lint rule's "no ad-hoc engine
+        construction").  Each call returns a fresh router with zeroed
+        congestion state over the shared, delta-maintained graph.
+        """
+        return IndexedRouter(
+            self.design.topology,
+            congestion_factor=congestion_factor,
+            total_bandwidth=total_bandwidth,
+            graph=self.graph(),
+        )
 
     def notify_link_added(self, link: Link) -> None:
         """Apply the delta for a link the removal algorithm just added.

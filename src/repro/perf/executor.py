@@ -14,6 +14,11 @@ drop-in ordered ``map`` that fans work out over a
 * **picklable work only** — callables must be module-level functions (or
   :func:`functools.partial` over one); every item's result is materialised
   before returning.
+
+Every degradation warning (serial fallback, pool death with partial
+results kept) carries a ``[noc-lint {...}]`` payload built by
+:func:`repro.lint.findings.structured_warning`, so CI log scrapers parse
+one schema for static lint findings and runtime degradations alike.
 """
 
 from __future__ import annotations
@@ -24,6 +29,8 @@ import warnings
 from concurrent.futures import ProcessPoolExecutor
 from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Iterable, List, Optional, Sequence, TypeVar
+
+from repro.lint.findings import structured_warning
 
 T = TypeVar("T")
 R = TypeVar("R")
@@ -101,7 +108,10 @@ def parallel_map(
             pickle.dumps(items[0])
         except Exception:
             warnings.warn(
-                "parallel_map: work is not picklable, falling back to serial",
+                structured_warning(
+                    "process-boundary",
+                    "parallel_map: work is not picklable, falling back to serial",
+                ),
                 RuntimeWarning,
                 stacklevel=2,
             )
@@ -114,8 +124,11 @@ def parallel_map(
                 pool = ProcessPoolExecutor(max_workers=min(workers, len(pending)))
             except OSError as exc:  # e.g. no fork/spawn support on the platform
                 warnings.warn(
-                    f"parallel_map: cannot start worker processes ({exc!r}), "
-                    "falling back to serial",
+                    structured_warning(
+                        "process-serial-fallback",
+                        f"parallel_map: cannot start worker processes "
+                        f"({exc!r}), falling back to serial",
+                    ),
                     RuntimeWarning,
                     stacklevel=2,
                 )
@@ -148,10 +161,13 @@ def parallel_map(
             retryable = [i for i in unfinished if attempts[i] <= retries]
             exhausted = [i for i in unfinished if attempts[i] > retries]
             warnings.warn(
-                f"parallel_map: process pool died with {len(unfinished)} of "
-                f"{count} item(s) unfinished; retrying "
-                f"{len(retryable)} in a fresh pool, running "
-                f"{len(exhausted)} serially (completed results are kept)",
+                structured_warning(
+                    "process-pool-died",
+                    f"parallel_map: process pool died with {len(unfinished)} of "
+                    f"{count} item(s) unfinished; retrying "
+                    f"{len(retryable)} in a fresh pool, running "
+                    f"{len(exhausted)} serially (completed results are kept)",
+                ),
                 RuntimeWarning,
                 stacklevel=2,
             )

@@ -8,8 +8,9 @@ repairs the damage before the network takes another step:
 1. the failed links leave the topology (recording their VC count and
    physical length so a later restore can resurrect them faithfully);
 2. every route crossing a failed link is dropped, and every unrouted flow
-   is re-routed through the :class:`~repro.perf.route_engine.IndexedRouter`
-   with the same congestion-aware ordering the synthesis pipeline uses
+   is re-routed through the design context's router
+   (:meth:`~repro.perf.design_context.DesignContext.router`) with the same
+   congestion-aware ordering the synthesis pipeline uses
    (flows sorted by descending bandwidth, surviving routes committed
    first so re-routes see the real congestion picture);
 3. deadlock removal re-runs on the degraded design through the default
@@ -42,7 +43,6 @@ from repro.errors import RouteError, SimulationError
 from repro.model.channels import Link
 from repro.model.design import NocDesign
 from repro.perf.design_context import DesignContext
-from repro.perf.route_engine import IndexedRouter
 from repro.simulation.events import EventSchedule
 
 #: Recovery modes: full re-routing plus deadlock re-removal (the default),
@@ -143,11 +143,9 @@ class RecoveryController:
         """
         design = self.design
         routes = design.routes
-        router = IndexedRouter(
-            design.topology,
+        router = context.router(
             congestion_factor=self.congestion_factor,
             total_bandwidth=max(design.traffic.total_bandwidth, 1e-9),
-            graph=context.graph(),
         )
         flows = sorted(design.traffic.flows, key=lambda f: (-f.bandwidth, f.name))
         unrouted = []

@@ -1,0 +1,96 @@
+"""Baseline persistence and the new-vs-grandfathered diff."""
+
+import json
+
+import pytest
+
+from repro.lint.baseline import (
+    BaselineError,
+    diff_against_baseline,
+    load_baseline,
+    save_baseline,
+)
+from repro.lint.findings import Finding
+
+
+def _finding(line=1, rule="det-wallclock", path="src/a.py", message="m"):
+    return Finding(path=path, line=line, rule=rule, message=message)
+
+
+class TestPersistence:
+    def test_save_load_round_trip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [_finding(3), _finding(9, rule="det-set-order")]
+        save_baseline(path, findings)
+        assert sorted(load_baseline(path)) == sorted(findings)
+
+    def test_missing_file_is_an_empty_baseline(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == []
+
+    def test_saved_document_is_sorted_and_versioned(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [_finding(9, path="src/b.py"), _finding(1, path="src/a.py")])
+        document = json.loads(path.read_text())
+        assert document["format_version"] == 1
+        assert [entry["path"] for entry in document["findings"]] == [
+            "src/a.py",
+            "src/b.py",
+        ]
+
+    def test_unknown_format_version_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"format_version": 99, "findings": []}))
+        with pytest.raises(BaselineError, match="format version"):
+            load_baseline(path)
+
+    def test_non_object_document_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(["not", "a", "dict"]))
+        with pytest.raises(BaselineError, match="'findings' list"):
+            load_baseline(path)
+
+    def test_unreadable_json_is_rejected(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError, match="could not read"):
+            load_baseline(path)
+
+
+class TestDiff:
+    def test_baselined_finding_is_grandfathered_even_after_line_shift(self):
+        new, grandfathered = diff_against_baseline([_finding(line=42)], [_finding(line=3)])
+        assert new == []
+        assert [f.line for f in grandfathered] == [42]
+
+    def test_unknown_finding_is_new(self):
+        new, grandfathered = diff_against_baseline([_finding(rule="det-set-order")], [_finding()])
+        assert [f.rule for f in new] == ["det-set-order"]
+        assert grandfathered == []
+
+    def test_multiset_semantics_second_occurrence_is_new(self):
+        current = [_finding(line=1), _finding(line=2)]
+        new, grandfathered = diff_against_baseline(current, [_finding()])
+        assert len(grandfathered) == 1
+        assert len(new) == 1
+
+
+class TestRoundTripThroughEngine:
+    def test_update_then_rerun_reports_zero_new(self, lint_project, tmp_path):
+        files = {
+            "src/clock.py": """
+                import time
+
+                def stamp():
+                    return time.time()
+                """
+        }
+        first = lint_project(files, rules=["det-wallclock"])
+        assert len(first.new_findings) == 1
+
+        baseline_path = tmp_path / "baseline.json"
+        save_baseline(baseline_path, first.findings)
+
+        second = lint_project(files, rules=["det-wallclock"], baseline=baseline_path)
+        assert second.ok
+        assert second.new_findings == []
+        assert len(second.grandfathered) == 1

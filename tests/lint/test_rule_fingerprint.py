@@ -1,0 +1,148 @@
+"""Fingerprint completeness: the cache-key-aliasing tripwire.
+
+The last class is the PR's contract test: take the *real*
+``repro.api.spec`` source, add a field, and prove the rule fails the
+build — both for a field added in the class body (AST path) and for one
+injected at runtime behind the AST's back (introspection path).
+"""
+
+import dataclasses
+from pathlib import Path
+
+from repro.lint.engine import lint_paths
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+_SPEC_PATH = REPO_ROOT / "src" / "repro" / "api" / "spec.py"
+
+
+class TestFixtureSpecs:
+    def test_unfingerprinted_field_is_flagged(self, lint_project):
+        report = lint_project(
+            {
+                "src/specmod.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class RunSpec:
+                        benchmark: str = "x"
+                        seed: int = 0
+                        trace_label: str = ""
+
+                        def to_dict(self):
+                            return {"benchmark": self.benchmark, "seed": self.seed}
+
+                        def fingerprint(self):
+                            return str(self.to_dict())
+                    """
+            },
+            rules=["fingerprint-completeness"],
+        )
+        (finding,) = report.new_findings
+        assert "'trace_label'" in finding.message
+
+    def test_elision_allowlist_is_an_explicit_out(self, lint_project):
+        report = lint_project(
+            {
+                "src/specmod.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class RunSpec:
+                        benchmark: str = "x"
+                        trace_label: str = ""
+
+                        def to_dict(self):
+                            return {"benchmark": self.benchmark}
+
+                    FINGERPRINT_ELIDED = ("trace_label",)
+                    """
+            },
+            rules=["fingerprint-completeness"],
+        )
+        assert report.ok
+
+    def test_coverage_follows_module_constants_to_a_fixpoint(self, lint_project):
+        report = lint_project(
+            {
+                "src/specmod.py": """
+                    from dataclasses import dataclass
+
+                    _AXIS_FIELDS = ("seed", "sim_cycles")
+                    _FIELD_DEFAULTS = tuple((name, 0) for name in _AXIS_FIELDS)
+
+                    @dataclass
+                    class RunSpec:
+                        benchmark: str = "x"
+                        seed: int = 0
+                        sim_cycles: int = 0
+
+                        def to_dict(self):
+                            data = {"benchmark": self.benchmark}
+                            for name, default in _FIELD_DEFAULTS:
+                                data[name] = getattr(self, name)
+                            return data
+                    """
+            },
+            rules=["fingerprint-completeness"],
+        )
+        assert report.ok
+
+    def test_other_dataclasses_are_ignored(self, lint_project):
+        report = lint_project(
+            {
+                "src/other.py": """
+                    from dataclasses import dataclass
+
+                    @dataclass
+                    class SomethingElse:
+                        hidden: int = 0
+
+                        def to_dict(self):
+                            return {}
+                    """
+            },
+            rules=["fingerprint-completeness"],
+        )
+        assert report.ok
+
+
+class TestRealSpecContract:
+    """The acceptance-criterion regressions against the real spec source."""
+
+    def test_real_spec_is_currently_complete(self):
+        report = lint_paths(
+            [_SPEC_PATH], root=REPO_ROOT, rules=["fingerprint-completeness"]
+        )
+        assert report.ok, [f.render() for f in report.new_findings]
+
+    def test_field_added_to_a_spec_copy_fails_the_rule(self, tmp_path):
+        source = _SPEC_PATH.read_text()
+        marker = "class RunSpec:\n"
+        assert marker in source
+        modified = source.replace(
+            marker, marker + "    injected_knob: int = 0\n", 1
+        )
+        target = tmp_path / "spec_modified.py"
+        target.write_text(modified)
+        report = lint_paths(
+            [target], root=tmp_path, rules=["fingerprint-completeness"]
+        )
+        assert not report.ok
+        (finding,) = report.new_findings
+        assert "'injected_knob'" in finding.message
+        assert "aliases" in finding.message
+
+    def test_runtime_injected_field_cannot_hide_from_the_ast(self, monkeypatch):
+        import repro.api.spec as spec_module
+
+        @dataclasses.dataclass
+        class WiderSpec(spec_module.RunSpec):
+            sneaky_knob: int = 0
+
+        monkeypatch.setattr(spec_module, "RunSpec", WiderSpec)
+        report = lint_paths(
+            [_SPEC_PATH], root=REPO_ROOT, rules=["fingerprint-completeness"]
+        )
+        assert not report.ok
+        messages = [f.message for f in report.new_findings]
+        assert any("runtime RunSpec field 'sneaky_knob'" in m for m in messages)

@@ -1,0 +1,78 @@
+"""Process-boundary safety: what may cross into parallel_map workers."""
+
+
+class TestProcessBoundary:
+    def test_lambda_callable_is_flagged(self, lint_project):
+        report = lint_project(
+            {
+                "src/sweep.py": """
+                    from repro.perf.executor import parallel_map
+
+                    def sweep(items):
+                        return parallel_map(lambda item: item, items)
+                    """
+            },
+            rules=["process-boundary"],
+        )
+        (finding,) = report.new_findings
+        assert "lambda" in finding.message
+
+    def test_constructed_objects_in_work_items_are_flagged(self, lint_project):
+        report = lint_project(
+            {
+                "src/sweep.py": """
+                    from repro.perf.executor import parallel_map
+
+                    def sweep(worker, names):
+                        tasks = [NocDesign(name) for name in names]
+                        return parallel_map(worker, tasks)
+                    """
+            },
+            rules=["process-boundary"],
+        )
+        (finding,) = report.new_findings
+        assert "NocDesign" in finding.message
+        assert "to_dict" in finding.message
+
+    def test_literal_items_are_checked_without_an_assignment(self, lint_project):
+        report = lint_project(
+            {
+                "src/sweep.py": """
+                    from repro.perf.executor import parallel_map
+
+                    def sweep(worker, spec):
+                        return parallel_map(worker, [Engine(spec)])
+                    """
+            },
+            rules=["process-boundary"],
+        )
+        assert len(report.new_findings) == 1
+
+    def test_plain_dict_conversions_are_the_sanctioned_shape(self, lint_project):
+        report = lint_project(
+            {
+                "src/sweep.py": """
+                    from repro.perf.executor import parallel_map
+
+                    def sweep(worker, specs, cache_dir):
+                        tasks = [(spec.to_dict(), cache_dir) for spec in specs]
+                        return parallel_map(worker, tasks)
+                    """
+            },
+            rules=["process-boundary"],
+        )
+        assert report.ok
+
+    def test_unresolvable_items_name_is_accepted(self, lint_project):
+        report = lint_project(
+            {
+                "src/sweep.py": """
+                    from repro.perf.executor import parallel_map
+
+                    def sweep(worker, tasks):
+                        return parallel_map(worker, tasks)
+                    """
+            },
+            rules=["process-boundary"],
+        )
+        assert report.ok

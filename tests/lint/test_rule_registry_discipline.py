@@ -1,0 +1,64 @@
+"""Registry discipline: engines resolve by name, never by constructor."""
+
+
+class TestRegistryDiscipline:
+    def test_direct_engine_construction_is_flagged(self, lint_project):
+        report = lint_project(
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/analysis/__init__.py": "",
+                "src/repro/analysis/adhoc.py": """
+                    from repro.perf.route_engine import IndexedRouter
+
+                    def route_all(topology):
+                        return IndexedRouter(topology)
+                    """,
+            },
+            rules=["registry-discipline"],
+        )
+        (finding,) = report.new_findings
+        assert "IndexedRouter" in finding.message
+        assert "routing_engines" in finding.message
+
+    def test_simulator_construction_is_flagged_too(self, lint_project):
+        report = lint_project(
+            {"src/adhoc.py": "sim = CompiledSimulator(design)\n"},
+            rules=["registry-discipline"],
+        )
+        (finding,) = report.new_findings
+        assert "simulation_engines" in finding.message
+
+    def test_perf_package_is_the_engines_home(self, lint_project):
+        report = lint_project(
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/perf/__init__.py": "",
+                "src/repro/perf/fast.py": "router = IndexedRouter(topology)\n",
+            },
+            rules=["registry-discipline"],
+        )
+        assert report.ok
+
+    def test_provider_modules_may_register_what_they_define(self, lint_project):
+        report = lint_project(
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/simulation/__init__.py": "",
+                "src/repro/simulation/simulator.py": "sim = Simulator(design)\n",
+            },
+            rules=["registry-discipline"],
+        )
+        assert report.ok
+
+    def test_inline_suppression_with_justification_is_honoured(self, lint_project):
+        report = lint_project(
+            {
+                "src/adhoc.py": (
+                    "router = IndexedRouter(topology)"
+                    "  # noc-lint: disable=registry-discipline - bench fixture\n"
+                )
+            },
+            rules=["registry-discipline"],
+        )
+        assert report.ok
+        assert len(report.suppressed) == 1

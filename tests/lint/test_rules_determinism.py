@@ -1,0 +1,172 @@
+"""Fixture-file scenarios for the four determinism rules."""
+
+
+class TestGlobalRandom:
+    def test_module_level_rng_attribute_is_flagged(self, lint_project):
+        report = lint_project(
+            {
+                "src/pick.py": """
+                    import random
+
+                    def pick(items):
+                        return random.choice(items)
+                    """
+            },
+            rules=["det-global-random"],
+        )
+        (finding,) = report.new_findings
+        assert "random.choice" in finding.message
+
+    def test_from_import_of_global_rng_function_is_flagged(self, lint_project):
+        report = lint_project(
+            {"src/pick.py": "from random import shuffle\n"},
+            rules=["det-global-random"],
+        )
+        (finding,) = report.new_findings
+        assert "from random import shuffle" in finding.message
+
+    def test_aliased_import_is_still_seen(self, lint_project):
+        report = lint_project(
+            {"src/pick.py": "import random as rnd\nx = rnd.random()\n"},
+            rules=["det-global-random"],
+        )
+        assert len(report.new_findings) == 1
+
+    def test_seeded_instance_is_clean(self, lint_project):
+        report = lint_project(
+            {
+                "src/pick.py": """
+                    import random
+
+                    def pick(items, seed):
+                        rng = random.Random(seed)
+                        return rng.choice(list(items))
+                    """
+            },
+            rules=["det-global-random"],
+        )
+        assert report.ok
+
+
+class TestUnseededRng:
+    def test_zero_argument_random_is_flagged(self, lint_project):
+        report = lint_project(
+            {"src/gen.py": "import random\nrng = random.Random()\n"},
+            rules=["det-unseeded-rng"],
+        )
+        (finding,) = report.new_findings
+        assert "without a seed" in finding.message
+
+    def test_from_imported_random_class_is_covered(self, lint_project):
+        report = lint_project(
+            {"src/gen.py": "from random import Random\nrng = Random()\n"},
+            rules=["det-unseeded-rng"],
+        )
+        assert len(report.new_findings) == 1
+
+    def test_seeded_construction_is_clean(self, lint_project):
+        report = lint_project(
+            {"src/gen.py": "import random\nrng = random.Random(7)\n"},
+            rules=["det-unseeded-rng"],
+        )
+        assert report.ok
+
+
+class TestWallClock:
+    def test_time_time_is_flagged_in_library_code(self, lint_project):
+        report = lint_project(
+            {"src/stamp.py": "import time\nt = time.time()\n"},
+            rules=["det-wallclock"],
+        )
+        (finding,) = report.new_findings
+        assert "wall clock" in finding.message
+
+    def test_datetime_now_is_flagged(self, lint_project):
+        report = lint_project(
+            {"src/stamp.py": "import datetime\nt = datetime.datetime.now()\n"},
+            rules=["det-wallclock"],
+        )
+        assert len(report.new_findings) == 1
+
+    def test_benchmarks_tree_is_exempt(self, lint_project):
+        report = lint_project(
+            {"benchmarks/timing.py": "import time\nt = time.time()\n"},
+            rules=["det-wallclock"],
+        )
+        assert report.ok
+
+    def test_perf_counter_is_the_sanctioned_alternative(self, lint_project):
+        report = lint_project(
+            {"src/stamp.py": "import time\nt = time.perf_counter()\n"},
+            rules=["det-wallclock"],
+        )
+        assert report.ok
+
+
+class TestSetOrder:
+    def test_join_over_a_set_is_flagged_anywhere(self, lint_project):
+        report = lint_project(
+            {
+                "src/render.py": """
+                    def render():
+                        extras = {"b", "a"}
+                        return ",".join(extras)
+                    """
+            },
+            rules=["det-set-order"],
+        )
+        (finding,) = report.new_findings
+        assert "join over a set" in finding.message
+
+    def test_sorted_wrapper_is_the_sanctioned_fix(self, lint_project):
+        report = lint_project(
+            {
+                "src/render.py": """
+                    def render():
+                        extras = {"b", "a"}
+                        return ",".join(sorted(extras))
+                    """
+            },
+            rules=["det-set-order"],
+        )
+        assert report.ok
+
+    def test_list_over_set_operation_result_is_flagged(self, lint_project):
+        report = lint_project(
+            {
+                "src/render.py": """
+                    def diff(a, b):
+                        gone = set(a) - set(b)
+                        return list(gone)
+                    """
+            },
+            rules=["det-set-order"],
+        )
+        assert len(report.new_findings) == 1
+
+    _FOR_LOOP_SOURCE = """
+        def walk():
+            names = {"b", "a"}
+            out = []
+            for name in names:
+                out.append(name)
+            return out
+        """
+
+    def test_bare_for_loop_is_flagged_in_canonical_modules(self, lint_project):
+        report = lint_project(
+            {
+                "src/repro/__init__.py": "",
+                "src/repro/api/__init__.py": "",
+                "src/repro/api/cache.py": self._FOR_LOOP_SOURCE,
+            },
+            rules=["det-set-order"],
+        )
+        assert len(report.new_findings) == 1
+        assert "canonical-output module" in report.new_findings[0].message
+
+    def test_bare_for_loop_is_tolerated_elsewhere(self, lint_project):
+        report = lint_project(
+            {"src/walk.py": self._FOR_LOOP_SOURCE}, rules=["det-set-order"]
+        )
+        assert report.ok

@@ -1,0 +1,53 @@
+"""Inline ``# noc-lint: disable=`` directives: same-line-only semantics."""
+
+from repro.lint.findings import Finding
+from repro.lint.suppress import is_suppressed, split_suppressed, suppressed_rules
+
+
+def _finding(line, rule="det-wallclock"):
+    return Finding(path="src/a.py", line=line, rule=rule, message="m")
+
+
+class TestDirectiveParsing:
+    def test_single_rule(self):
+        assert suppressed_rules("x = 1  # noc-lint: disable=det-wallclock") == {
+            "det-wallclock"
+        }
+
+    def test_multiple_rules_and_spacing(self):
+        line = "x = 1  # noc-lint: disable=det-wallclock, registry-discipline"
+        assert suppressed_rules(line) == {"det-wallclock", "registry-discipline"}
+
+    def test_justification_text_after_directive_is_ignored(self):
+        line = "x = 1  # noc-lint: disable=det-wallclock - mtime age math"
+        assert suppressed_rules(line) == {"det-wallclock"}
+
+    def test_plain_comment_is_not_a_directive(self):
+        assert suppressed_rules("x = 1  # talks about noc-lint only") == frozenset()
+
+
+class TestSuppression:
+    def test_suppresses_matching_rule_on_same_line(self):
+        lines = ["x = time.time()  # noc-lint: disable=det-wallclock"]
+        assert is_suppressed(_finding(1), lines)
+
+    def test_wildcard_all_suppresses_any_rule(self):
+        lines = ["x = 1  # noc-lint: disable=all"]
+        assert is_suppressed(_finding(1, rule="anything"), lines)
+
+    def test_directive_on_another_line_does_not_suppress(self):
+        lines = ["# noc-lint: disable=det-wallclock", "x = time.time()"]
+        assert not is_suppressed(_finding(2), lines)
+
+    def test_other_rule_ids_do_not_suppress(self):
+        lines = ["x = 1  # noc-lint: disable=det-set-order"]
+        assert not is_suppressed(_finding(1), lines)
+
+    def test_split_partitions_kept_and_dropped(self):
+        lines = [
+            "a = time.time()",
+            "b = time.time()  # noc-lint: disable=det-wallclock",
+        ]
+        kept, dropped = split_suppressed([_finding(1), _finding(2)], lines)
+        assert [f.line for f in kept] == [1]
+        assert [f.line for f in dropped] == [2]

@@ -58,6 +58,43 @@ class TestGraphReuse:
         assert counters.graph_builds <= 1
         assert counters.graph_reuses >= 2
 
+
+class TestRouterFactory:
+    """``context.router()`` — the sanctioned construction point outside perf/."""
+
+    def test_router_shares_the_cached_graph(self, design):
+        context = DesignContext.of(design)
+        router = context.router()
+        assert router.graph is context.graph()
+
+    def test_router_matches_direct_construction(self, design):
+        from repro.perf.route_engine import IndexedRouter
+
+        context = DesignContext.of(design)
+        factory_router = context.router(congestion_factor=0.5, total_bandwidth=2.0)
+        direct_router = IndexedRouter(
+            design.topology,
+            congestion_factor=0.5,
+            total_bandwidth=2.0,
+            graph=context.graph(),
+        )
+        switches = sorted(design.topology.switches)
+        for src in switches[:4]:
+            for dst in switches[-4:]:
+                if src == dst:
+                    continue
+                assert factory_router.route(src, dst) == direct_router.route(src, dst)
+
+    def test_each_call_starts_with_zeroed_congestion(self, design):
+        context = DesignContext.of(design)
+        first = context.router(congestion_factor=1.0, total_bandwidth=1.0)
+        switches = sorted(design.topology.switches)
+        route = first.route(switches[0], switches[-1])
+        first.commit(route, 5.0)
+        assert any(first.routed_bandwidth)
+        fresh = context.router(congestion_factor=1.0, total_bandwidth=1.0)
+        assert not any(fresh.routed_bandwidth)
+
     def test_reused_graph_routes_equal_fresh_build(self, design):
         context = DesignContext.of(design)
         context.graph()
