@@ -51,7 +51,8 @@ from repro.simulation.simulator import (
 )
 from repro.simulation.stats import SimulationStats
 from repro.synthesis.builder import SynthesisConfig, synthesize_design
-from repro.synthesis.regular import mesh_design
+from repro.synthesis.families import family_design
+from repro.synthesis.regular import default_mesh_traffic
 
 #: Acceptance threshold at the headline point (D36_8 @ 35 switches).
 FULL_SPEEDUP_THRESHOLD = 3.0
@@ -130,7 +131,12 @@ def run_simulation_benchmark(
             rounds=rounds,
         )
     )
-    mesh = mesh_design(8, 8)
+    mesh = family_design(
+        "mesh",
+        default_mesh_traffic(8, 8),
+        {"rows": 8, "cols": 8, "routing": "xy"},
+        name="mesh8x8",
+    )
     points.append(
         _time_point(
             mesh,

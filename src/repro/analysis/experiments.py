@@ -169,14 +169,18 @@ def compare_methods(
     ordering_strategy: str = STRATEGY_HOP_INDEX,
     synthesis_backend: str = "custom",
     routing_engine: str = "indexed",
+    topology_family: Optional[str] = None,
+    family_params: Optional[Dict] = None,
     unprotected: Optional[NocDesign] = None,
 ) -> MethodComparison:
     """Run the full unprotected / removal / ordering comparison for one point.
 
-    ``engine``, ``ordering_strategy``, ``synthesis_backend`` and
-    ``routing_engine`` name entries of the pluggable registries in
-    :mod:`repro.api.registry`.  Passing a pre-synthesized ``unprotected``
-    design (e.g. from the artifact cache) skips the synthesis step entirely.
+    ``engine``, ``ordering_strategy``, ``synthesis_backend``,
+    ``routing_engine`` and ``topology_family`` name entries of the
+    pluggable registries in :mod:`repro.api.registry` (``topology_family``
+    with its ``family_params`` routes synthesis through the parameterized
+    generator).  Passing a pre-synthesized ``unprotected`` design (e.g.
+    from the artifact cache) skips the synthesis step entirely.
     """
     if unprotected is None:
         # Only resolve the benchmark traffic when synthesis actually needs
@@ -185,6 +189,9 @@ def compare_methods(
         traffic = _resolve_traffic(benchmark, seed)
         overrides = dict(synthesis_overrides or {})
         overrides.setdefault("routing_engine", routing_engine)
+        if topology_family is not None:
+            overrides.setdefault("topology_family", topology_family)
+            overrides.setdefault("family_params", dict(family_params or {}))
         config = SynthesisConfig(n_switches=switch_count, seed=seed, **overrides)
         backend = synthesis_backends.get(synthesis_backend)
         unprotected = backend(traffic, config)

@@ -146,6 +146,14 @@ routing_engines = Registry("routing engine", provider="repro.routing.shortest_pa
 #: legacy simulator module, so both built-ins register together.
 simulation_engines = Registry("simulation engine", provider="repro.perf.sim_engine")
 
+#: Parameterized topology families (built-ins live in
+#: :mod:`repro.synthesis.families`: ``"ring"``, ``"mesh"``, ``"torus"``,
+#: ``"fat_tree"``, ``"clos"``/``"vl2"`` and ``"dragonfly"``).  A family
+#: builds a :class:`~repro.synthesis.families.FamilyInstance` — topology
+#: plus deterministic core-attachment order — from validated closed-form
+#: parameters; :attr:`repro.api.spec.RunSpec.topology_family` selects one.
+topology_families = Registry("topology family", provider="repro.synthesis.families")
+
 #: Traffic-scenario generators for the wormhole simulator (built-ins live in
 #: :mod:`repro.simulation.scenarios`: ``"flows"`` — the paper's
 #: bandwidth-proportional traffic — plus ``"uniform"``, ``"hotspot"``,

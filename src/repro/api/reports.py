@@ -63,8 +63,11 @@ def _spec_params(params: Mapping[str, Any]) -> Dict[str, Any]:
             "ordering_strategy",
             "synthesis_backend",
             "synthesis",
+            "topology_family",
+            "family_params",
             "sim_engine",
             "traffic_scenario",
+            "scenario_params",
             "sim_cycles",
             "buffer_depth",
             "fault_schedule",
@@ -345,7 +348,167 @@ class _ResilienceReport(ReportType):
         }
 
 
+#: Default size sweeps of the ``scale`` report, per topology family.
+DEFAULT_SCALE_POINTS: Dict[str, List[Dict[str, int]]] = {
+    "ring": [{"n_switches": 4}, {"n_switches": 8}, {"n_switches": 16}],
+    "mesh": [
+        {"rows": 3, "cols": 3},
+        {"rows": 4, "cols": 4},
+        {"rows": 5, "cols": 5},
+    ],
+    "torus": [
+        {"rows": 3, "cols": 3},
+        {"rows": 4, "cols": 4},
+        {"rows": 5, "cols": 5},
+    ],
+    "fat_tree": [{"k": 2}, {"k": 4}, {"k": 6}],
+    "clos": [
+        {"spines": 2, "leaves": 4},
+        {"spines": 4, "leaves": 8},
+        {"spines": 6, "leaves": 12},
+    ],
+    "vl2": [
+        {"spines": 2, "leaves": 4},
+        {"spines": 4, "leaves": 8},
+        {"spines": 6, "leaves": 12},
+    ],
+    "dragonfly": [
+        {"groups": 2, "routers": 2},
+        {"groups": 3, "routers": 3},
+        {"groups": 4, "routers": 4},
+    ],
+}
+
+
+class _ScaleReport(ReportType):
+    """Scaling curves of one topology family across sizes.
+
+    One simulating :class:`RunSpec` per size point: each point synthesizes
+    the family instance (``topology_family`` + that point's
+    ``family_params``), runs the removal/ordering comparison and simulates
+    all three variants at one load level, so the render can plot
+    removal-time, extra-VC, latency and saturation curves against network
+    size — the datacenter-scale question of whether the paper's algorithm
+    keeps up as the fabric grows.
+
+    Parameters: ``family`` (required), ``points`` (list of family-parameter
+    dictionaries; default :data:`DEFAULT_SCALE_POINTS` for the family),
+    ``benchmark`` (one registry name used at every size; default a
+    parametric ``uniform_c{2·size}_f2`` synthetic per point, which scales
+    the workload with the fabric), ``injection_scale`` (default 0.75),
+    ``seed`` and any simulation field (``sim_engine``,
+    ``traffic_scenario``, ``scenario_params``, ``sim_cycles``,
+    ``buffer_depth``).
+    """
+
+    def _family(self, params: Mapping[str, Any]) -> str:
+        from repro.errors import PlanError  # local: avoid import cycle
+
+        family = params.get("family")
+        if not isinstance(family, str) or not family:
+            raise PlanError(
+                "the scale report needs a 'family' parameter naming a "
+                "topology family (e.g. 'fat_tree')"
+            )
+        return family
+
+    def _points(self, params: Mapping[str, Any]) -> List[Dict[str, Any]]:
+        from repro.errors import PlanError  # local: avoid import cycle
+
+        family = self._family(params)
+        points = params.get("points")
+        if points is None:
+            points = DEFAULT_SCALE_POINTS.get(family)
+            if points is None:
+                raise PlanError(
+                    f"no default size sweep for topology family {family!r}; "
+                    "pass explicit 'points'"
+                )
+        if not isinstance(points, (list, tuple)) or not points:
+            raise PlanError("scale report 'points' must be a non-empty list")
+        return [dict(point) for point in points]
+
+    def _sizes(self, params: Mapping[str, Any]) -> List[int]:
+        from repro.synthesis.families import family_size  # local: lazy import
+
+        family = self._family(params)
+        return [family_size(family, point) for point in self._points(params)]
+
+    def _benchmarks(self, params: Mapping[str, Any]) -> List[str]:
+        benchmark = params.get("benchmark")
+        if benchmark is not None:
+            return [benchmark for _ in self._points(params)]
+        # Parametric synthetic workload growing with the fabric: two cores
+        # per switch, two flows per core.
+        return [f"uniform_c{2 * size}_f2" for size in self._sizes(params)]
+
+    def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
+        family = self._family(params)
+        points = self._points(params)
+        sizes = self._sizes(params)
+        benchmarks = self._benchmarks(params)
+        extra = _spec_params(params)
+        # The family axis is the report's own sweep, never a pass-through.
+        extra.pop("topology_family", None)
+        extra.pop("family_params", None)
+        return [
+            RunSpec(
+                benchmark=benchmark,
+                switch_count=size,
+                seed=params.get("seed", 0),
+                injection_scale=params.get("injection_scale", 0.75),
+                topology_family=family,
+                family_params=point,
+                **extra,
+            )
+            for benchmark, size, point in zip(benchmarks, sizes, points)
+        ]
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        from repro.api.runner import SIMULATED_VARIANTS  # local: avoid import cycle
+
+        results = self._results(params, lookup)
+        curves: Dict[str, Any] = {}
+        for variant in SIMULATED_VARIANTS:
+            metrics = [r.simulation["variants"][variant] for r in results]
+            saturated = [
+                bool(
+                    m["deadlocked"]
+                    or (
+                        m["offered_flits_per_cycle"] > 0
+                        and m["delivered_flits_per_cycle"]
+                        < 0.8 * m["offered_flits_per_cycle"]
+                    )
+                )
+                for m in metrics
+            ]
+            curves[variant] = {
+                "offered_flits_per_cycle": [m["offered_flits_per_cycle"] for m in metrics],
+                "delivered_flits_per_cycle": [
+                    m["delivered_flits_per_cycle"] for m in metrics
+                ],
+                "average_latency": [m["average_latency"] for m in metrics],
+                "deadlocked": [m["deadlocked"] for m in metrics],
+                "saturated": saturated,
+            }
+        first = results[0].simulation if results else {}
+        return {
+            "family": self._family(params),
+            "points": self._points(params),
+            "sizes": self._sizes(params),
+            "benchmarks": self._benchmarks(params),
+            "injection_scale": params.get("injection_scale", 0.75),
+            "traffic_scenario": first.get("traffic_scenario", "flows"),
+            "sim_engine": first.get("engine", "compiled"),
+            "removal_extra_vcs": [r.removal_extra_vcs for r in results],
+            "ordering_extra_vcs": [r.ordering_extra_vcs for r in results],
+            "removal_runtime_s": [r.removal_runtime_s for r in results],
+            "variants": curves,
+        }
+
+
 report_types.register("latency", _LatencyReport())
+report_types.register("scale", _ScaleReport())
 report_types.register("resilience", _ResilienceReport())
 report_types.register("figure8", _SwitchCountSweepReport("D26_media", FIGURE8_SWITCH_COUNTS))
 report_types.register("figure9", _SwitchCountSweepReport("D36_8", FIGURE9_SWITCH_COUNTS))

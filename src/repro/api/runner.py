@@ -86,6 +86,8 @@ def execute_spec(spec: RunSpec, cache: Optional[ArtifactCache] = None) -> RunRes
         ordering_strategy=spec.ordering_strategy,
         synthesis_backend=spec.synthesis_backend,
         routing_engine=spec.routing_engine,
+        topology_family=spec.topology_family,
+        family_params=spec.family_params,
         unprotected=unprotected,
     )
     simulation = _simulate_spec(spec, comparison) if spec.injection_scale else None
@@ -134,6 +136,7 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
             buffer_depth=spec.buffer_depth,
             seed=spec.seed,
             traffic_scenario=spec.traffic_scenario,
+            scenario_params=spec.scenario_params,
             sim_engine=spec.sim_engine,
             fault_schedule=schedule,
         )
@@ -148,6 +151,8 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
         "seed": spec.seed,
         "variants": variants,
     }
+    if spec.scenario_params:
+        simulation["scenario_params"] = dict(spec.scenario_params)
     if spec.fault_schedule is not None:
         simulation["fault_schedule"] = dict(spec.fault_schedule)
     return simulation

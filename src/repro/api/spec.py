@@ -26,11 +26,23 @@ Plan schema (``format_version`` 1)::
         {"benchmark": "D36_8", "switch_count": 14, "injection_scale": 1.0,
          "fault_schedule": {"random": {"link_failures": 2,
                                        "start_cycle": 100, "end_cycle": 800,
-                                       "restore_after": 500}}}
+                                       "restore_after": 500}}},
+        {"benchmark": "uniform_c64_f2", "topology_family": "fat_tree",
+         "family_params": {"k": 8}, "switch_count": 80,
+         "injection_scale": 1.0, "traffic_scenario": "trace",
+         "scenario_params": {"trace_cycles": 2000}}
       ],
       "reports": ["figure8", {"type": "figure9", "switch_counts": [10, 14]},
-                  {"type": "resilience", "benchmark": "D36_8"}]
+                  {"type": "resilience", "benchmark": "D36_8"},
+                  {"type": "scale", "family": "fat_tree",
+                   "points": [{"k": 2}, {"k": 4}, {"k": 6}]}]
     }
+
+A ``topology_family`` entry synthesizes through the named parameterized
+generator (:data:`repro.api.registry.topology_families`) instead of the
+application-specific pipeline; ``switch_count`` must equal the family's
+closed-form size at ``family_params``.  Both fields are elided from the
+serialized form when unset, so pre-family cache addresses hold.
 
 Every run entry accepts the singular or plural form of ``benchmark``,
 ``switch_count``, ``seed`` and ``injection_scale`` plus any other
@@ -60,7 +72,7 @@ from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field, fields
+from dataclasses import MISSING, dataclass, field, fields
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Union
 
@@ -79,8 +91,11 @@ _SPEC_FIELDS = (
     "synthesis_backend",
     "routing_engine",
     "synthesis",
+    "topology_family",
+    "family_params",
     "sim_engine",
     "traffic_scenario",
+    "scenario_params",
     "injection_scale",
     "sim_cycles",
     "buffer_depth",
@@ -120,6 +135,18 @@ class RunSpec:
     synthesis:
         Extra keyword overrides for
         :class:`repro.synthesis.builder.SynthesisConfig`.
+    topology_family:
+        Optional name in :data:`repro.api.registry.topology_families`
+        (``fat_tree``, ``clos``/``vl2``, ``torus``, ``dragonfly``, ...).
+        When set, the topology comes from that parameterized generator
+        (``synthesis_backend`` flips from the default ``"custom"`` to
+        ``"family"`` automatically) and ``switch_count`` must equal the
+        family's closed-form size at ``family_params``.  Elided from the
+        serialized form when unset, so pre-existing cache addresses hold.
+    family_params:
+        Parameters of the topology family (e.g. ``{"k": 8}``); a
+        ``"routing"`` entry overrides the family's default routing mode.
+        Only meaningful with ``topology_family``; elided when empty.
     sim_engine:
         Wormhole simulation engine
         (``repro.api.registry.simulation_engines``); only exercised when
@@ -127,6 +154,11 @@ class RunSpec:
     traffic_scenario:
         Traffic-scenario generator for the simulation
         (``repro.api.registry.traffic_scenarios``).
+    scenario_params:
+        Extra keyword arguments for the scenario's generator factory (e.g.
+        ``{"factor": 8.0}`` for ``hotspot``, or ``{"trace": {...}}`` /
+        ``{"trace_cycles": 2000}`` for the ``trace`` scenario).  Elided
+        from the serialized form when empty.
     injection_scale:
         The load point: when set, the spec additionally simulates the
         comparison's designs at this injection scale and records the
@@ -154,8 +186,11 @@ class RunSpec:
     synthesis_backend: str = "custom"
     routing_engine: str = "indexed"
     synthesis: Dict[str, Any] = field(default_factory=dict)
+    topology_family: Optional[str] = None
+    family_params: Dict[str, Any] = field(default_factory=dict)
     sim_engine: str = "compiled"
     traffic_scenario: str = "flows"
+    scenario_params: Dict[str, Any] = field(default_factory=dict)
     injection_scale: Optional[float] = None
     sim_cycles: int = 3000
     buffer_depth: int = 4
@@ -184,6 +219,30 @@ class RunSpec:
         if not isinstance(self.synthesis, dict):
             raise PlanError(f"synthesis overrides must be a mapping, got {self.synthesis!r}")
         self.synthesis = dict(self.synthesis)
+        if self.topology_family is not None:
+            if not isinstance(self.topology_family, str) or not self.topology_family:
+                raise PlanError(
+                    f"topology_family must be a non-empty string or null, "
+                    f"got {self.topology_family!r}"
+                )
+            # A family spec runs through the 'family' backend; flipping the
+            # default here (rather than erroring) keeps plan entries short:
+            # {"topology_family": "fat_tree", "family_params": {"k": 8}}.
+            if self.synthesis_backend == "custom":
+                self.synthesis_backend = "family"
+        for name in ("family_params", "scenario_params"):
+            value = getattr(self, name)
+            if not isinstance(value, dict):
+                raise PlanError(f"{name} must be a mapping, got {value!r}")
+            setattr(self, name, dict(value))
+        if self.family_params and self.topology_family is None:
+            raise PlanError(
+                "family_params given without a topology_family to apply them to"
+            )
+        if self.synthesis_backend == "family" and self.topology_family is None:
+            raise PlanError(
+                "the 'family' synthesis backend needs a topology_family"
+            )
         if self.injection_scale is not None:
             if isinstance(self.injection_scale, bool) or not isinstance(
                 self.injection_scale, (int, float)
@@ -218,13 +277,12 @@ class RunSpec:
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
-        """JSON-serializable form (default-valued simulation fields elided).
+        """JSON-serializable form (default-valued optional fields elided).
 
-        The simulation-axis fields are serialized (and therefore
-        fingerprinted) only when they differ from their dataclass default,
-        so every cost-only spec keeps the exact content address it had
-        before the simulation axis existed — warm artifact caches stay
-        warm.
+        The simulation-axis and topology-family fields are serialized (and
+        therefore fingerprinted) only when they differ from their dataclass
+        default, so every spec that predates those axes keeps the exact
+        content address it had — warm artifact caches stay warm.
         """
         document = {
             "benchmark": self.benchmark,
@@ -236,7 +294,7 @@ class RunSpec:
             "routing_engine": self.routing_engine,
             "synthesis": dict(self.synthesis),
         }
-        for name, default in _SIM_FIELD_DEFAULTS:
+        for name, default in _ELIDED_FIELD_DEFAULTS:
             value = getattr(self, name)
             if value != default:
                 document[name] = value
@@ -283,27 +341,49 @@ class RunSpec:
                     "synthesis_backend": self.synthesis_backend,
                     "routing_engine": self.routing_engine,
                     "synthesis": dict(self.synthesis),
+                    # Family fields join the key only when set, so designs
+                    # cached before the topology-family axis keep their
+                    # addresses.
+                    **(
+                        {
+                            "topology_family": self.topology_family,
+                            "family_params": dict(self.family_params),
+                        }
+                        if self.topology_family is not None
+                        else {}
+                    ),
                 },
             }
         )
 
 
-#: The simulation-axis fields with their dataclass defaults, derived from
-#: the :class:`RunSpec` field definitions so the to_dict elision can never
-#: drift from the actual defaults (a drift would silently re-address every
-#: cached spec).
+#: The simulation-axis and topology-family fields with their dataclass
+#: defaults, derived from the :class:`RunSpec` field definitions so the
+#: to_dict elision can never drift from the actual defaults (a drift would
+#: silently re-address every cached spec).
 _SIM_AXIS_FIELDS = (
     "sim_engine",
     "traffic_scenario",
+    "scenario_params",
     "injection_scale",
     "sim_cycles",
     "buffer_depth",
     "fault_schedule",
 )
-_SIM_FIELD_DEFAULTS = tuple(
-    (spec_field.name, spec_field.default)
+_FAMILY_AXIS_FIELDS = (
+    "topology_family",
+    "family_params",
+)
+_ELIDED_AXIS_FIELDS = _SIM_AXIS_FIELDS + _FAMILY_AXIS_FIELDS
+_ELIDED_FIELD_DEFAULTS = tuple(
+    (
+        spec_field.name,
+        spec_field.default
+        if spec_field.default is not MISSING
+        else spec_field.default_factory(),
+    )
     for spec_field in fields(RunSpec)
-    if spec_field.name in _SIM_AXIS_FIELDS
+    if spec_field.name in _ELIDED_AXIS_FIELDS
 )
 
 #: Fields deliberately left out of :meth:`RunSpec.fingerprint`.  Empty on
@@ -395,8 +475,11 @@ def expand_run_entry(
             "synthesis_backend",
             "routing_engine",
             "synthesis",
+            "topology_family",
+            "family_params",
             "sim_engine",
             "traffic_scenario",
+            "scenario_params",
             "sim_cycles",
             "buffer_depth",
             "fault_schedule",

@@ -1,10 +1,28 @@
-"""Benchmark registry: look up the paper's benchmarks by name."""
+"""Benchmark registry: look up the paper's benchmarks by name.
+
+Besides the six SoC benchmarks of the paper's evaluation, parametric
+*synthetic* names resolve on demand — the workloads that scale with the
+fabric in datacenter-topology sweeps (the ``scale`` report generates
+``uniform_c{2·switches}_f2`` names, for example):
+
+* ``uniform_c<N>_f<F>`` — ``N`` cores, ``F`` uniformly random flows each;
+* ``hotspot_c<N>_h<H>`` — ``N`` cores converging on ``H`` hotspots;
+* ``neighbour_c<N>`` — ``N`` cores in a nearest-neighbour ring.
+
+All are deterministic in ``(name, seed)``.
+"""
 
 from __future__ import annotations
 
+import re
 from typing import Callable, Dict, List
 
 from repro.benchmarks.soc import d26_media, d35_bott, d36_4, d36_6, d36_8, d38_tvopd
+from repro.benchmarks.synthetic import (
+    hotspot_traffic,
+    neighbour_traffic,
+    uniform_random_traffic,
+)
 from repro.errors import BenchmarkError
 from repro.model.traffic import CommunicationGraph
 
@@ -21,22 +39,55 @@ _FACTORIES: Dict[str, Callable[[int], CommunicationGraph]] = {
 
 BENCHMARK_NAMES: List[str] = list(_FACTORIES)
 
+#: Parametric synthetic benchmark name patterns (fullmatch, anchored).
+_UNIFORM_PATTERN = re.compile(r"uniform_c(\d+)_f(\d+)")
+_HOTSPOT_PATTERN = re.compile(r"hotspot_c(\d+)_h(\d+)")
+_NEIGHBOUR_PATTERN = re.compile(r"neighbour_c(\d+)")
+
+#: Human-readable forms of the parametric patterns, for error messages.
+PARAMETRIC_PATTERNS: List[str] = [
+    "uniform_c<N>_f<F>",
+    "hotspot_c<N>_h<H>",
+    "neighbour_c<N>",
+]
+
 
 def list_benchmarks() -> List[str]:
     """Names of all registered benchmarks, in the paper's order."""
     return list(BENCHMARK_NAMES)
 
 
+def _parametric_benchmark(name: str, seed: int) -> CommunicationGraph:
+    """Resolve a parametric synthetic name, or raise BenchmarkError."""
+    match = _UNIFORM_PATTERN.fullmatch(name)
+    if match:
+        n_cores, flows = int(match.group(1)), int(match.group(2))
+        return uniform_random_traffic(
+            n_cores, flows_per_core=flows, seed=seed, name=name
+        )
+    match = _HOTSPOT_PATTERN.fullmatch(name)
+    if match:
+        n_cores, hotspots = int(match.group(1)), int(match.group(2))
+        return hotspot_traffic(n_cores, n_hotspots=hotspots, seed=seed, name=name)
+    match = _NEIGHBOUR_PATTERN.fullmatch(name)
+    if match:
+        return neighbour_traffic(int(match.group(1)), name=name)
+    raise BenchmarkError(
+        f"unknown benchmark {name!r}; available: {', '.join(BENCHMARK_NAMES)}; "
+        f"parametric: {', '.join(PARAMETRIC_PATTERNS)}"
+    )
+
+
 def get_benchmark(name: str, seed: int = 0) -> CommunicationGraph:
     """Instantiate a benchmark communication graph by name.
 
-    Raises :class:`~repro.errors.BenchmarkError` for unknown names; the
-    error message lists the valid ones, which makes CLI typos painless.
+    Besides the six fixed SoC names, parametric synthetic names (see
+    :data:`PARAMETRIC_PATTERNS`) are generated on demand, deterministic in
+    ``(name, seed)``.  Raises :class:`~repro.errors.BenchmarkError` for
+    unknown names; the error message lists the valid forms, which makes CLI
+    typos painless.
     """
-    try:
-        factory = _FACTORIES[name]
-    except KeyError:
-        raise BenchmarkError(
-            f"unknown benchmark {name!r}; available: {', '.join(BENCHMARK_NAMES)}"
-        ) from None
+    factory = _FACTORIES.get(name)
+    if factory is None:
+        return _parametric_benchmark(name, seed)
     return factory(seed)

@@ -32,6 +32,7 @@ from repro.api.registry import (
     removal_engines,
     routing_engines,
     simulation_engines,
+    topology_families,
     traffic_scenarios,
 )
 from repro.api.reports import run_report
@@ -88,10 +89,40 @@ def _cmd_ordering(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_json_object(value: Optional[str], flag: str) -> dict:
+    """Parse an inline-JSON-object CLI value (``{}`` when omitted)."""
+    if value is None:
+        return {}
+    try:
+        parsed = json.loads(value)
+    except json.JSONDecodeError as exc:
+        raise SystemExit(f"invalid {flag} JSON: {exc}")
+    if not isinstance(parsed, dict):
+        raise SystemExit(f"{flag} must be a JSON object, got {parsed!r}")
+    return parsed
+
+
 def _cmd_synthesize(args: argparse.Namespace) -> int:
     traffic = get_benchmark(args.benchmark, seed=args.seed)
+    family_params = _parse_json_object(args.family_params, "--family-params")
+    if args.family_params is not None and args.topology_family is None:
+        raise SystemExit("--family-params needs --topology-family")
+    switches = args.switches
+    if switches is None:
+        if args.topology_family is not None:
+            # Let the family's closed form decide; the builder derives the
+            # size from the parameters.
+            from repro.synthesis.families import family_size  # local: lazy import
+
+            switches = family_size(args.topology_family, family_params)
+        else:
+            switches = 14
     config = SynthesisConfig(
-        n_switches=args.switches, seed=args.seed, routing_engine=args.routing_engine
+        n_switches=switches,
+        seed=args.seed,
+        routing_engine=args.routing_engine,
+        topology_family=args.topology_family,
+        family_params=family_params,
     )
     design = synthesize_design(traffic, config)
     cdg = build_cdg(design)
@@ -130,6 +161,7 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         buffer_depth=args.buffer_depth,
         seed=args.seed,
         traffic_scenario=args.traffic_scenario,
+        scenario_params=_parse_json_object(args.scenario_params, "--scenario-params"),
     )
     stats = simulate_design(
         design,
@@ -288,13 +320,33 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("synthesize", help="synthesize a design from a benchmark")
     p.add_argument("benchmark", help="benchmark name (see 'benchmarks')")
-    p.add_argument("--switches", type=int, default=14)
+    p.add_argument(
+        "--switches",
+        type=int,
+        default=None,
+        help="switch count (default: 14, or the family's closed form when "
+        "--topology-family is given)",
+    )
     p.add_argument("--seed", type=int, default=0)
     p.add_argument(
         "--routing-engine",
         choices=routing_engines.names(),
         default="indexed",
         help="shortest-path routing engine (default: indexed)",
+    )
+    p.add_argument(
+        "--topology-family",
+        choices=topology_families.names(),
+        default=None,
+        help="generate the topology from a parameterized family instead of "
+        "the application-specific synthesis flow",
+    )
+    p.add_argument(
+        "--family-params",
+        default=None,
+        metavar="JSON",
+        help="family parameters as a JSON object, e.g. '{\"k\": 4}' for "
+        "fat_tree (requires --topology-family)",
     )
     p.add_argument("-o", "--output", help="where to write the design")
     p.set_defaults(func=_cmd_synthesize)
@@ -316,6 +368,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=traffic_scenarios.names(),
         default="flows",
         help="traffic scenario (default: flows, the design's own traffic)",
+    )
+    p.add_argument(
+        "--scenario-params",
+        default=None,
+        metavar="JSON",
+        help="scenario parameters as a JSON object, e.g. "
+        "'{\"trace\": \"demand.json\"}' for the trace scenario",
     )
     p.add_argument(
         "--cross-check",

@@ -51,6 +51,7 @@ class EngineTestCoverageRule(LintRule):
             "routing_engines",
             "simulation_engines",
             "traffic_scenarios",
+            "topology_families",
         }
     )
 

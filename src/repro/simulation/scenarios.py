@@ -29,7 +29,11 @@ generator's instance RNG):
   the load; all other flows idle at ``off_factor`` of the uniform weight;
 * ``bursty`` — the paper's rates modulated by a per-flow two-state on/off
   Markov process (mean burst length ``burst_length``, duty cycle ``duty``),
-  preserving the long-run average rate.
+  preserving the long-run average rate;
+* ``trace`` — replay of a JSON per-flow demand trace
+  (:class:`~repro.simulation.trace.TraceTrafficGenerator`); without an
+  explicit ``trace`` parameter a seeded synthetic trace reproduces the
+  ``flows`` scenario packet-for-packet.
 
 New scenarios plug in with a decorator::
 
@@ -48,6 +52,7 @@ from repro.api.registry import traffic_scenarios
 from repro.errors import SimulationError
 from repro.model.design import NocDesign
 from repro.power.orion import TechnologyParameters
+from repro.simulation.trace import TraceTrafficGenerator
 from repro.simulation.traffic_gen import FlowTrafficGenerator
 
 
@@ -258,3 +263,4 @@ traffic_scenarios.register("uniform", UniformTrafficGenerator)
 traffic_scenarios.register("hotspot", HotspotTrafficGenerator)
 traffic_scenarios.register("transpose", TransposeTrafficGenerator)
 traffic_scenarios.register("bursty", BurstyTrafficGenerator)
+traffic_scenarios.register("trace", TraceTrafficGenerator)

@@ -1,0 +1,296 @@
+"""Trace-driven traffic: replay JSON per-flow demand traces.
+
+Datacenter-scale evaluations (VL2 and its reproductions) drive the network
+from measured demand traces rather than stochastic generators.  The
+``trace`` entry of :data:`repro.api.registry.traffic_scenarios` replays
+such a trace against a design's flows; a seeded synthetic trace generator
+(:func:`synthesize_trace`) makes the scenario fully reproducible from
+:attr:`repro.api.spec.RunSpec.seed` alone when no external trace is given.
+
+Trace document shape (``format_version`` 1)::
+
+    {
+      "format_version": 1,
+      "cycles": 2000,
+      "events": [
+        {"cycle": 0, "flow": "f3", "packets": 1},
+        {"cycle": 2, "flow": "f0", "packets": 2}
+      ]
+    }
+
+``cycles`` is the replay horizon (injection stops when the simulation runs
+past it); each event injects ``packets`` packets of its flow at ``cycle``.
+Events are canonicalized to ``(cycle, flow)`` order and merged, so any
+permutation of the same events is the same trace.
+
+A synthetic trace produced by :func:`synthesize_trace` materializes the
+exact Bernoulli draws of the ``flows`` scenario at the same
+``(seed, injection_scale)`` — replaying it is packet-for-packet identical
+to the paper's traffic, which is what the cross-check tests pin down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Tuple, Union
+
+from repro.errors import SimulationError
+from repro.model.design import NocDesign
+from repro.power.orion import TechnologyParameters
+from repro.simulation.flit import Packet
+from repro.simulation.traffic_gen import FlowTrafficGenerator
+
+#: Version tag of the trace JSON document.
+TRACE_FORMAT_VERSION = 1
+
+
+def synthesize_trace(
+    design: NocDesign,
+    *,
+    cycles: int,
+    injection_scale: float = 1.0,
+    tech: Optional[TechnologyParameters] = None,
+    seed: int = 0,
+) -> Dict[str, Any]:
+    """Materialize the ``flows`` scenario's injections as a trace document.
+
+    The returned document, replayed through the ``trace`` scenario at the
+    same ``injection_scale``, injects the exact packet sequence the
+    ``flows`` scenario produces for ``(design, seed)`` — a seeded synthetic
+    demand trace, reproducible from the spec's seed.
+    """
+    if cycles < 1:
+        raise SimulationError(f"a trace needs at least 1 cycle, got {cycles}")
+    generator = FlowTrafficGenerator(
+        design, injection_scale=injection_scale, tech=tech, seed=seed
+    )
+    events: List[Dict[str, Any]] = []
+    for cycle in range(cycles):
+        for packet in generator.generate(cycle):
+            events.append({"cycle": cycle, "flow": packet.flow_name, "packets": 1})
+    return {
+        "format_version": TRACE_FORMAT_VERSION,
+        "cycles": cycles,
+        "events": events,
+    }
+
+
+def validate_trace(document: Mapping[str, Any]) -> Dict[str, Any]:
+    """Canonical form of a trace document (SimulationError on any problem).
+
+    Events are sorted by ``(cycle, flow)`` and same-key events merged, so
+    two traces listing the same injections in any order canonicalize to the
+    same document (and therefore the same spec fingerprint).
+    """
+    if not isinstance(document, Mapping):
+        raise SimulationError(
+            f"a trace must be a mapping, got {type(document).__name__}"
+        )
+    version = document.get("format_version", TRACE_FORMAT_VERSION)
+    if version != TRACE_FORMAT_VERSION:
+        raise SimulationError(
+            f"unsupported trace format version {version!r} "
+            f"(expected {TRACE_FORMAT_VERSION})"
+        )
+    unknown = sorted(set(document) - {"format_version", "cycles", "events"})
+    if unknown:
+        raise SimulationError(f"unknown trace field(s): {', '.join(unknown)}")
+    cycles = document.get("cycles")
+    if not isinstance(cycles, int) or isinstance(cycles, bool) or cycles < 1:
+        raise SimulationError(f"trace cycles must be a positive integer, got {cycles!r}")
+    events = document.get("events", [])
+    if not isinstance(events, (list, tuple)):
+        raise SimulationError(f"trace events must be a list, got {events!r}")
+    merged: Dict[Tuple[int, str], int] = {}
+    for event in events:
+        if not isinstance(event, Mapping):
+            raise SimulationError(f"trace event must be a mapping, got {event!r}")
+        extra = sorted(set(event) - {"cycle", "flow", "packets"})
+        if extra:
+            raise SimulationError(f"unknown trace event field(s): {', '.join(extra)}")
+        cycle = event.get("cycle")
+        if not isinstance(cycle, int) or isinstance(cycle, bool) or cycle < 0:
+            raise SimulationError(
+                f"trace event cycle must be a non-negative integer, got {cycle!r}"
+            )
+        if cycle >= cycles:
+            raise SimulationError(
+                f"trace event at cycle {cycle} is beyond the trace horizon "
+                f"({cycles} cycles)"
+            )
+        flow = event.get("flow")
+        if not isinstance(flow, str) or not flow:
+            raise SimulationError(
+                f"trace event flow must be a non-empty string, got {flow!r}"
+            )
+        packets = event.get("packets", 1)
+        if not isinstance(packets, int) or isinstance(packets, bool) or packets < 1:
+            raise SimulationError(
+                f"trace event packet count must be a positive integer, got {packets!r}"
+            )
+        key = (cycle, flow)
+        merged[key] = merged.get(key, 0) + packets
+    canonical_events = [
+        {"cycle": cycle, "flow": flow, "packets": merged[(cycle, flow)]}
+        for cycle, flow in sorted(merged)
+    ]
+    return {
+        "format_version": TRACE_FORMAT_VERSION,
+        "cycles": cycles,
+        "events": canonical_events,
+    }
+
+
+def load_trace(path: Union[str, Path]) -> Dict[str, Any]:
+    """Read and canonicalize a trace JSON file."""
+    path = Path(path)
+    try:
+        text = path.read_text()
+    except OSError as exc:
+        raise SimulationError(f"could not read trace from {path}: {exc}") from exc
+    try:
+        document = json.loads(text)
+    except json.JSONDecodeError as exc:
+        raise SimulationError(f"invalid trace JSON in {path}: {exc}") from exc
+    return validate_trace(document)
+
+
+def save_trace(document: Mapping[str, Any], path: Union[str, Path]) -> Path:
+    """Canonicalize and write a trace document as JSON."""
+    path = Path(path)
+    canonical = validate_trace(document)
+    try:
+        path.write_text(json.dumps(canonical, indent=2, sort_keys=True) + "\n")
+    except OSError as exc:
+        raise SimulationError(f"could not write trace to {path}: {exc}") from exc
+    return path
+
+
+class TraceTrafficGenerator(FlowTrafficGenerator):
+    """Replay a per-flow demand trace (the ``trace`` scenario).
+
+    Parameters
+    ----------
+    trace:
+        A trace document (mapping) or a path to a trace JSON file.  When
+        omitted, a synthetic trace of ``trace_cycles`` cycles is generated
+        from ``(design, seed, injection_scale)`` via
+        :func:`synthesize_trace` — packet-for-packet identical to the
+        ``flows`` scenario over the trace horizon.
+    trace_cycles:
+        Horizon of the synthetic trace (ignored for explicit traces).
+    injection_scale:
+        For an *explicit* trace, scales every event's packet count (the
+        fractional remainder becomes one extra packet with the
+        corresponding probability, drawn from the seeded instance RNG).  A
+        synthetic trace already embeds the scale, so replay is exact.
+
+    Every trace flow must be an eligible flow of the design (routed, or a
+    same-switch local); unknown flows raise :class:`SimulationError` up
+    front rather than silently dropping demand.
+    """
+
+    scenario = "trace"
+
+    def __init__(
+        self,
+        design: NocDesign,
+        *,
+        injection_scale: float = 1.0,
+        tech: Optional[TechnologyParameters] = None,
+        seed: int = 0,
+        trace: Optional[Union[Mapping[str, Any], str, Path]] = None,
+        trace_cycles: int = 3000,
+    ):
+        self._explicit = trace is not None
+        if isinstance(trace, (str, Path)):
+            trace = load_trace(trace)
+        elif trace is not None:
+            trace = validate_trace(trace)
+        else:
+            trace = validate_trace(
+                synthesize_trace(
+                    design,
+                    cycles=trace_cycles,
+                    injection_scale=injection_scale,
+                    tech=tech,
+                    seed=seed,
+                )
+            )
+        self._trace = trace
+        # _compute_rates (called by the base constructor) reads self._trace.
+        super().__init__(design, injection_scale=injection_scale, tech=tech, seed=seed)
+        schedule: Dict[int, List[Tuple[str, int]]] = {}
+        for event in trace["events"]:
+            schedule.setdefault(event["cycle"], []).append(
+                (event["flow"], event["packets"])
+            )
+        self._schedule = schedule
+
+    # ------------------------------------------------------------------
+    @property
+    def trace(self) -> Dict[str, Any]:
+        """The canonical trace document being replayed (copy)."""
+        return {
+            "format_version": self._trace["format_version"],
+            "cycles": self._trace["cycles"],
+            "events": [dict(event) for event in self._trace["events"]],
+        }
+
+    def _compute_rates(self) -> Dict[str, float]:
+        """Average per-flow packet rates over the trace horizon.
+
+        Used for ``offered_flits_per_cycle`` (saturation detection); the
+        actual injections come from the replay, not Bernoulli draws.
+        """
+        names = self._eligible_flows()
+        totals = {name: 0 for name in names}
+        for event in self._trace["events"]:
+            flow = event["flow"]
+            if flow not in totals:
+                raise SimulationError(
+                    f"trace references flow {flow!r}, which is not an "
+                    f"eligible flow of design {self.design.name!r}"
+                )
+            totals[flow] += event["packets"]
+        cycles = self._trace["cycles"]
+        scale = self.injection_scale if self._explicit else 1.0
+        return {
+            name: min(total * scale / cycles, 1.0) for name, total in totals.items()
+        }
+
+    def _emitted_count(self, packets: int) -> int:
+        """Packets to inject for one event, after injection scaling."""
+        if not self._explicit:
+            return packets
+        effective = packets * self.injection_scale
+        count = int(effective)
+        remainder = effective - count
+        if remainder > 0 and self._rng.random() < remainder:
+            count += 1
+        return count
+
+    def generate(self, cycle: int) -> List[Packet]:
+        """Packets the trace injects at ``cycle``, in (cycle, flow) order."""
+        packets: List[Packet] = []
+        for flow_name, count in self._schedule.get(cycle, ()):
+            emit = self._emitted_count(count)
+            if emit <= 0:
+                continue
+            flow = self.design.traffic.flow(flow_name)
+            if self.design.routes.has_route(flow_name):
+                route_channels = self.design.routes.route(flow_name).channels
+            else:
+                route_channels = ()
+            for _ in range(emit):
+                packet = Packet(
+                    packet_id=self._next_packet_id,
+                    flow_name=flow_name,
+                    route=route_channels,
+                    size_flits=flow.packet_size_flits,
+                    created_cycle=cycle,
+                )
+                self._next_packet_id += 1
+                packets.append(packet)
+        return packets

@@ -21,10 +21,10 @@ the paper's removal algorithm targets.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, fields
+from typing import Any, Dict, List, Optional, Tuple
 
-from repro.api.registry import routing_engines, synthesis_backends
+from repro.api.registry import routing_engines, synthesis_backends, topology_families
 from repro.errors import SynthesisError
 from repro.model.design import NocDesign
 from repro.model.topology import Topology
@@ -74,6 +74,15 @@ class SynthesisConfig:
         default; ``"legacy"`` is the seed path-tuple search).  Both produce
         identical routes — the knob exists for cross-checking and
         benchmarking.
+    topology_family:
+        When set, the topology comes from the named
+        :data:`repro.api.registry.topology_families` generator instead of
+        the application-specific pipeline; ``n_switches`` must then equal
+        the family's closed-form size at ``family_params``.
+    family_params:
+        Parameters of the topology family (e.g. ``{"k": 8}`` for
+        ``fat_tree``; a ``"routing"`` entry overrides the family's default
+        routing mode).  Only meaningful with ``topology_family``.
     """
 
     n_switches: int
@@ -84,6 +93,8 @@ class SynthesisConfig:
     congestion_factor: float = 0.5
     seed: int = 0
     routing_engine: str = "indexed"
+    topology_family: Optional[str] = None
+    family_params: Dict[str, Any] = field(default_factory=dict)
 
     def __post_init__(self):
         if self.n_switches < 1:
@@ -98,6 +109,26 @@ class SynthesisConfig:
             raise SynthesisError(
                 f"unknown routing engine {self.routing_engine!r}; "
                 f"available: {', '.join(routing_engines.names())}"
+            )
+        if self.topology_family is not None:
+            if not isinstance(self.topology_family, str) or not self.topology_family:
+                raise SynthesisError(
+                    f"topology_family must be a non-empty string or None, "
+                    f"got {self.topology_family!r}"
+                )
+            if self.topology_family not in topology_families:
+                raise SynthesisError(
+                    f"unknown topology family {self.topology_family!r}; "
+                    f"available: {', '.join(topology_families.names())}"
+                )
+        if not isinstance(self.family_params, dict):
+            raise SynthesisError(
+                f"family_params must be a mapping, got {self.family_params!r}"
+            )
+        self.family_params = dict(self.family_params)
+        if self.family_params and self.topology_family is None:
+            raise SynthesisError(
+                "family_params given without a topology_family to apply them to"
             )
 
 
@@ -227,8 +258,24 @@ def synthesize_design(
     by the routing step): later ``compute_routes`` / up*/down* calls on the
     same design object reuse the int-relabelled switch graph and the BFS
     orientation instead of rebuilding them per call.
+
+    A config with :attr:`SynthesisConfig.topology_family` set dispatches to
+    the family generator instead of the application-specific pipeline (the
+    ``family`` backend is the explicit registry spelling of the same path).
     """
     from repro.perf.design_context import DesignContext  # local: keep import light
+
+    if config.topology_family is not None:
+        from repro.synthesis.families import build_family_design  # local: keep import light
+
+        return build_family_design(
+            traffic,
+            family=config.topology_family,
+            params=config.family_params,
+            n_switches=config.n_switches,
+            routing_engine=config.routing_engine,
+            name=name,
+        )
 
     core_map = partition_cores(
         traffic, config.n_switches, balance_slack=config.balance_slack
@@ -259,8 +306,22 @@ def synthesize_design(
 def synthesize_for_switch_count(
     traffic: CommunicationGraph, n_switches: int, **overrides
 ) -> NocDesign:
-    """Convenience wrapper used by the sweep benchmarks."""
-    config = SynthesisConfig(n_switches=n_switches, **overrides)
+    """Convenience wrapper used by the sweep benchmarks.
+
+    Every configuration problem — an unknown override name, infeasible
+    family parameters, a switch count off the family's closed form —
+    surfaces as :class:`~repro.errors.SynthesisError`, never as a bare
+    ``TypeError``/``KeyError``.
+    """
+    try:
+        config = SynthesisConfig(n_switches=n_switches, **overrides)
+    except TypeError:
+        valid = [spec_field.name for spec_field in fields(SynthesisConfig)]
+        unknown = sorted(set(overrides) - set(valid))
+        raise SynthesisError(
+            f"unknown synthesis override(s): {', '.join(unknown)}; "
+            f"valid: {', '.join(valid)}"
+        ) from None
     return synthesize_design(traffic, config)
 
 
@@ -281,10 +342,32 @@ def _mesh_backend(traffic: CommunicationGraph, config: SynthesisConfig) -> NocDe
     """Regular-mesh comparison backend: the closest-to-square ``rows × cols``
     grid with at least ``config.n_switches`` switches, XY-routed (always
     deadlock free — useful as a baseline workload for the experiment API).
+    Thin adapter over the ``mesh`` topology family.
     """
-    from repro.synthesis.regular import mesh_design  # local: keep import light
+    from repro.synthesis.families import build_family_design  # local: keep import light
 
     rows = max(1, int(math.sqrt(config.n_switches)))
     cols = (config.n_switches + rows - 1) // rows
-    name = f"{traffic.name}_{rows}x{cols}mesh"
-    return mesh_design(rows, cols, traffic, name=name)
+    return build_family_design(
+        traffic,
+        family="mesh",
+        params={"rows": rows, "cols": cols},
+        routing_engine=config.routing_engine,
+        name=f"{traffic.name}_{rows}x{cols}mesh",
+    )
+
+
+@synthesis_backends.register("family")
+def _family_backend(traffic: CommunicationGraph, config: SynthesisConfig) -> NocDesign:
+    """Parameterized topology-family backend (fat_tree, clos/vl2, torus...).
+
+    Requires :attr:`SynthesisConfig.topology_family`;
+    :class:`~repro.api.spec.RunSpec` selects this backend automatically
+    whenever its ``topology_family`` field is set.
+    """
+    if config.topology_family is None:
+        raise SynthesisError(
+            "the 'family' synthesis backend needs config.topology_family; "
+            f"available families: {', '.join(topology_families.names())}"
+        )
+    return synthesize_design(traffic, config)

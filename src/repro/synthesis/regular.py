@@ -1,81 +1,73 @@
 """Regular reference topologies: ring, 2D mesh, 2D torus.
 
-The paper's method accepts any topology; regular ones are used here for
-documentation examples, for tests with known CDG structure (a unidirectional
-ring with all-to-neighbour traffic always has a cycle; an XY-routed mesh
-never does) and as comparison inputs for the benchmarks.
+The construction logic lives in the :data:`repro.api.registry
+.topology_families` registry (:mod:`repro.synthesis.families`); this module
+keeps the historical helper signatures as thin adapters.  The topology
+helpers (``ring_topology``/``mesh_topology``/``torus_topology``) delegate
+silently; the full design constructors (``ring_design``/``mesh_design``)
+are deprecation shims over :func:`repro.synthesis.families.family_design`,
+kept the same way :mod:`repro.analysis.sweeps` keeps the legacy figure
+helpers.
 """
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, Optional
 
-from repro.errors import SynthesisError
+from repro.api.registry import topology_families
 from repro.model.design import NocDesign
 from repro.model.topology import Topology
 from repro.model.traffic import CommunicationGraph
-from repro.model.validation import validate_design
-from repro.routing.shortest_path import compute_routes
-from repro.routing.turns import compute_xy_routes
+from repro.synthesis.families import attach_cores_round_robin, family_design
+
+__all__ = [
+    "ring_topology",
+    "mesh_topology",
+    "torus_topology",
+    "attach_cores_round_robin",
+    "ring_design",
+    "mesh_design",
+]
 
 
-def ring_topology(n_switches: int, *, bidirectional: bool = False, name: Optional[str] = None) -> Topology:
+def _family_topology(family: str, params: Dict, name: Optional[str]) -> Topology:
+    topology = topology_families.get(family).build(params).topology
+    if name is not None:
+        topology.name = name
+    return topology
+
+
+def ring_topology(
+    n_switches: int, *, bidirectional: bool = False, name: Optional[str] = None
+) -> Topology:
     """A ring of ``n_switches`` switches ``sw0 .. sw{n-1}``.
 
     With ``bidirectional=False`` (the default) the ring is unidirectional
     (sw0 -> sw1 -> ... -> sw0), the classic deadlock-prone configuration.
     """
-    if n_switches < 3:
-        raise SynthesisError(f"a ring needs at least 3 switches, got {n_switches}")
-    topology = Topology(name or f"ring{n_switches}")
-    switches = [f"sw{i}" for i in range(n_switches)]
-    topology.add_switches(switches)
-    for i in range(n_switches):
-        a = switches[i]
-        b = switches[(i + 1) % n_switches]
-        if bidirectional:
-            topology.add_bidirectional_link(a, b)
-        else:
-            topology.add_link(a, b)
-    return topology
+    return _family_topology(
+        "ring", {"n_switches": n_switches, "bidirectional": bidirectional}, name
+    )
 
 
 def mesh_topology(rows: int, cols: int, *, name: Optional[str] = None) -> Topology:
     """A ``rows x cols`` 2D mesh with switches named ``sw_x_y``."""
-    if rows < 1 or cols < 1:
-        raise SynthesisError(f"mesh dimensions must be positive, got {rows}x{cols}")
-    topology = Topology(name or f"mesh{rows}x{cols}")
-    for x in range(cols):
-        for y in range(rows):
-            topology.add_switch(f"sw_{x}_{y}")
-    for x in range(cols):
-        for y in range(rows):
-            if x + 1 < cols:
-                topology.add_bidirectional_link(f"sw_{x}_{y}", f"sw_{x + 1}_{y}")
-            if y + 1 < rows:
-                topology.add_bidirectional_link(f"sw_{x}_{y}", f"sw_{x}_{y + 1}")
-    return topology
+    return _family_topology("mesh", {"rows": rows, "cols": cols}, name)
 
 
 def torus_topology(rows: int, cols: int, *, name: Optional[str] = None) -> Topology:
     """A ``rows x cols`` 2D torus (mesh plus wrap-around links)."""
-    if rows < 3 or cols < 3:
-        raise SynthesisError(f"a torus needs at least 3x3 switches, got {rows}x{cols}")
-    topology = mesh_topology(rows, cols, name=name or f"torus{rows}x{cols}")
-    for y in range(rows):
-        topology.add_bidirectional_link(f"sw_{cols - 1}_{y}", f"sw_0_{y}")
-    for x in range(cols):
-        topology.add_bidirectional_link(f"sw_{x}_{rows - 1}", f"sw_{x}_0")
-    return topology
+    return _family_topology("torus", {"rows": rows, "cols": cols}, name)
 
 
-def attach_cores_round_robin(topology: Topology, traffic: CommunicationGraph) -> Dict[str, str]:
-    """Attach cores to switches in round-robin order (deterministic)."""
-    switches = topology.switches
-    core_map: Dict[str, str] = {}
-    for index, core in enumerate(sorted(traffic.cores)):
-        core_map[core] = switches[index % len(switches)]
-    return core_map
+def _deprecated(old: str, family: str) -> None:
+    warnings.warn(
+        f"repro.synthesis.regular.{old} is deprecated; use "
+        f"repro.synthesis.families.family_design({family!r}, ...)",
+        DeprecationWarning,
+        stacklevel=3,
+    )
 
 
 def ring_design(
@@ -85,29 +77,22 @@ def ring_design(
     bidirectional: bool = False,
     name: Optional[str] = None,
 ) -> NocDesign:
-    """A complete ring design with shortest-path routes.
+    """Deprecated shim over ``family_design("ring", ...)``.
 
     When no traffic is given, one core per switch is created and every core
     sends to the core two switches downstream — dense enough that a
     unidirectional ring always exhibits a CDG cycle.
     """
-    topology = ring_topology(n_switches, bidirectional=bidirectional, name=name)
+    _deprecated("ring_design", "ring")
+    name = name or f"ring{n_switches}"
     if traffic is None:
-        traffic = CommunicationGraph(f"{topology.name}_traffic")
-        for i in range(n_switches):
-            traffic.add_core(f"core{i}")
-        for i in range(n_switches):
-            dst = (i + 2) % n_switches
-            traffic.add_flow(f"f{i}", f"core{i}", f"core{dst}", bandwidth=100.0)
-    design = NocDesign(
-        name=name or topology.name,
-        topology=topology,
-        traffic=traffic.copy(),
-        core_map=attach_cores_round_robin(topology, traffic),
+        traffic = default_ring_traffic(n_switches, name=f"{name}_traffic")
+    return family_design(
+        "ring",
+        traffic,
+        {"n_switches": n_switches, "bidirectional": bidirectional},
+        name=name,
     )
-    compute_routes(design, weight_mode="hops")
-    validate_design(design)
-    return design
 
 
 def mesh_design(
@@ -118,40 +103,56 @@ def mesh_design(
     routing: str = "xy",
     name: Optional[str] = None,
 ) -> NocDesign:
-    """A complete mesh design with XY (default) or shortest-path routes.
+    """Deprecated shim over ``family_design("mesh", ...)``.
 
     When no traffic is given, one core per switch is created and every core
     sends to the core at the transposed mesh position (a standard synthetic
-    pattern that exercises both dimensions).
+    pattern that exercises both dimensions), attached at its own switch.
     """
-    topology = mesh_topology(rows, cols, name=name)
+    _deprecated("mesh_design", "mesh")
+    name = name or f"mesh{rows}x{cols}"
+    core_map = None
     if traffic is None:
-        traffic = CommunicationGraph(f"{topology.name}_traffic")
-        for x in range(cols):
-            for y in range(rows):
-                traffic.add_core(f"core_{x}_{y}")
-        flow_id = 0
-        for x in range(cols):
-            for y in range(rows):
-                tx, ty = y % cols, x % rows
-                if (x, y) == (tx, ty):
-                    continue
-                traffic.add_flow(
-                    f"f{flow_id}", f"core_{x}_{y}", f"core_{tx}_{ty}", bandwidth=50.0
-                )
-                flow_id += 1
-        core_map = {f"core_{x}_{y}": f"sw_{x}_{y}" for x in range(cols) for y in range(rows)}
-    else:
-        core_map = attach_cores_round_robin(topology, traffic)
-    design = NocDesign(
-        name=name or topology.name,
-        topology=topology,
-        traffic=traffic.copy(),
+        traffic = default_mesh_traffic(rows, cols, name=f"{name}_traffic")
+        core_map = {
+            f"core_{x}_{y}": f"sw_{x}_{y}" for x in range(cols) for y in range(rows)
+        }
+    return family_design(
+        "mesh",
+        traffic,
+        {"rows": rows, "cols": cols, "routing": routing},
+        name=name,
         core_map=core_map,
     )
-    if routing == "xy":
-        compute_xy_routes(design)
-    else:
-        compute_routes(design, weight_mode="hops")
-    validate_design(design)
-    return design
+
+
+def default_ring_traffic(n_switches: int, *, name: Optional[str] = None) -> CommunicationGraph:
+    """One core per switch, each sending to the core two hops downstream."""
+    traffic = CommunicationGraph(name or f"ring{n_switches}_traffic")
+    for i in range(n_switches):
+        traffic.add_core(f"core{i}")
+    for i in range(n_switches):
+        dst = (i + 2) % n_switches
+        traffic.add_flow(f"f{i}", f"core{i}", f"core{dst}", bandwidth=100.0)
+    return traffic
+
+
+def default_mesh_traffic(
+    rows: int, cols: int, *, name: Optional[str] = None
+) -> CommunicationGraph:
+    """One core per mesh position, each sending to its transposed position."""
+    traffic = CommunicationGraph(name or f"mesh{rows}x{cols}_traffic")
+    for x in range(cols):
+        for y in range(rows):
+            traffic.add_core(f"core_{x}_{y}")
+    flow_id = 0
+    for x in range(cols):
+        for y in range(rows):
+            tx, ty = y % cols, x % rows
+            if (x, y) == (tx, ty):
+                continue
+            traffic.add_flow(
+                f"f{flow_id}", f"core_{x}_{y}", f"core_{tx}_{ty}", bandwidth=50.0
+            )
+            flow_id += 1
+    return traffic

@@ -75,7 +75,7 @@ class TestBuiltinRegistries:
         assert ordering_strategies.names() == ["hop_index", "layered"]
 
     def test_synthesis_backends(self):
-        assert synthesis_backends.names() == ["custom", "mesh"]
+        assert synthesis_backends.names() == ["custom", "family", "mesh"]
 
 
 class TestDispatchThroughRegistries:

@@ -106,3 +106,42 @@ class TestAttachRoundRobin:
         for switch in core_map.values():
             counts[switch] = counts.get(switch, 0) + 1
         assert max(counts.values()) - min(counts.values()) <= 1
+
+
+class TestDeprecationShims:
+    """ring_design/mesh_design survive as warning shims over family_design."""
+
+    def test_ring_design_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="ring_design"):
+            design = ring_design(6)
+        assert design.topology.switch_count == 6
+
+    def test_mesh_design_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="mesh_design"):
+            design = mesh_design(3, 3)
+        assert design.topology.switch_count == 9
+
+    def test_topology_helpers_stay_silent(self):
+        import warnings
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            ring_topology(4)
+            mesh_topology(2, 2)
+            torus_topology(3, 3)
+
+    def test_shim_matches_family_design(self, d26_traffic):
+        from repro.synthesis.families import family_design
+
+        with pytest.warns(DeprecationWarning):
+            shimmed = mesh_design(3, 3, traffic=d26_traffic)
+        direct = family_design(
+            "mesh",
+            d26_traffic,
+            {"rows": 3, "cols": 3, "routing": "xy"},
+            name="mesh3x3",
+        )
+        assert shimmed.core_map == direct.core_map
+        assert {f: r.channels for f, r in shimmed.routes.items()} == {
+            f: r.channels for f, r in direct.routes.items()
+        }
