@@ -17,7 +17,11 @@ configuration):
 * **verdict integrity** — the faulted run is executed with
   ``cross_check=True`` (compiled engine re-verified against the legacy
   engine, field-identical stats) and every post-recovery design must be
-  deadlock-free (``post_fault_deadlock_free``).
+  deadlock-free (``post_fault_deadlock_free``);
+* **per-policy cost** — the same faulted run repeated under every entry
+  of the :data:`repro.api.registry.recovery_policies` registry, timing
+  each policy's repair strategy against the fault-free baseline and
+  recording its delivery/loss/recovery profile.
 
 Results go to ``benchmarks/results/fault_recovery.json`` and
 ``BENCH_fault_recovery.json`` at the repository root.  Runnable
@@ -39,6 +43,7 @@ from typing import List, Optional
 REPO_ROOT = Path(__file__).resolve().parent.parent
 ROOT_RESULT_PATH = REPO_ROOT / "BENCH_fault_recovery.json"
 
+from repro.api.registry import recovery_policies
 from repro.benchmarks.registry import get_benchmark
 from repro.core.removal import remove_deadlocks
 from repro.perf.design_context import counters
@@ -107,6 +112,42 @@ def run_fault_recovery_benchmark(
     )
 
     baseline_s, faulted_s = min(baseline_times), min(faulted_times)
+
+    # The same faulted run under every registered recovery policy: what
+    # does each repair strategy cost, and what service does it deliver?
+    policies = {}
+    for policy in recovery_policies.names():
+        policy_config = SimulationConfig(
+            injection_scale=1.0,
+            seed=seed,
+            fault_schedule=schedule,
+            fault_recovery=policy,
+        )
+        policy_times: List[float] = []
+        policy_stats = None
+        for _ in range(max(rounds, 1)):
+            start = time.perf_counter()
+            policy_stats = simulate_design(
+                design, max_cycles=max_cycles, config=policy_config, engine="compiled"
+            )
+            policy_times.append(time.perf_counter() - start)
+        policy_s = min(policy_times)
+        drained = [c for c in policy_stats.recovery_cycles if c >= 0]
+        policies[policy] = {
+            "seconds": policy_s,
+            "overhead_percent": (
+                (policy_s / baseline_s - 1.0) * 100.0 if baseline_s > 0 else 0.0
+            ),
+            "packets_delivered": policy_stats.packets_delivered,
+            "packets_lost": policy_stats.packets_lost,
+            "flits_lost": policy_stats.flits_lost,
+            "flows_rerouted": policy_stats.flows_rerouted,
+            "mean_recovery_cycles": (
+                sum(drained) / len(drained) if drained else 0.0
+            ),
+            "batches_never_drained": policy_stats.batches_never_drained,
+            "post_fault_deadlock_free": policy_stats.post_fault_deadlock_free,
+        }
     recovered = [c for c in faulted_stats.recovery_cycles if c >= 0]
     return {
         "benchmark": benchmark,
@@ -137,6 +178,7 @@ def run_fault_recovery_benchmark(
         "removal_counters": removal_counters,
         "cross_check_identical": True,  # cross_check raises otherwise
         "cross_check_deadlocked": cross_stats.deadlock_detected,
+        "policies": policies,
     }
 
 
@@ -164,6 +206,14 @@ def _report(data: dict) -> str:
         f"  post-fault CDG acyclic: {data['post_fault_deadlock_free']}   "
         f"cross-check identical: {data['cross_check_identical']}",
     ]
+    for policy, entry in sorted(data["policies"].items()):
+        lines.append(
+            f"  policy {policy:<10}: {entry['seconds'] * 1e3:.0f}ms "
+            f"({entry['overhead_percent']:+.1f}%)   "
+            f"delivered {entry['packets_delivered']}, "
+            f"lost {entry['packets_lost']} pkt / {entry['flits_lost']} flit, "
+            f"acyclic: {entry['post_fault_deadlock_free']}"
+        )
     return "\n".join(lines)
 
 
@@ -177,6 +227,13 @@ def _check(data: dict) -> List[str]:
         failures.append("compiled and legacy engines diverged under faults")
     if data["batches_total"] and data["batches_drained"] == 0:
         failures.append("no fault batch ever drained its in-flight packets")
+    for policy, entry in sorted(data["policies"].items()):
+        # reroute deliberately skips the removal re-run, so a cyclic
+        # post-fault CDG is its documented (and tested) failure mode.
+        if policy != "reroute" and entry["post_fault_deadlock_free"] is False:
+            failures.append(
+                f"policy {policy!r} left a post-recovery design deadlocked"
+            )
     return failures
 
 

@@ -93,6 +93,7 @@ def measure_load_point(
     sim_engine: str = DEFAULT_SIMULATION_ENGINE,
     cross_check: bool = False,
     fault_schedule=None,
+    fault_recovery: str = "removal",
 ) -> Dict[str, Any]:
     """Simulate one load point and return its metrics as a plain dictionary.
 
@@ -105,6 +106,9 @@ def measure_load_point(
     :meth:`~repro.simulation.events.EventSchedule.from_spec` does; when it
     yields a non-empty schedule the returned metrics gain a ``resilience``
     sub-dictionary (fault-free records keep their exact historical shape).
+    ``fault_recovery`` names the
+    :data:`repro.api.registry.recovery_policies` entry repairing the
+    route set after each fault batch.
     """
     schedule = EventSchedule.from_spec(
         fault_schedule, topology=design.topology, seed=seed
@@ -116,6 +120,7 @@ def measure_load_point(
         traffic_scenario=traffic_scenario,
         scenario_params=dict(scenario_params or {}),
         fault_schedule=schedule,
+        fault_recovery=fault_recovery,
     )
     # Read the offered load from the engine's own generator instead of
     # constructing a throwaway second one.
@@ -145,6 +150,7 @@ def measure_load_point(
             "flits_lost": stats.flits_lost,
             "flows_rerouted": stats.flows_rerouted,
             "recovery_cycles": list(stats.recovery_cycles),
+            "batches_never_drained": stats.batches_never_drained,
             "mean_recovery_cycles": (
                 sum(recovered) / len(recovered) if recovered else 0.0
             ),

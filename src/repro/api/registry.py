@@ -159,3 +159,20 @@ topology_families = Registry("topology family", provider="repro.synthesis.famili
 #: bandwidth-proportional traffic — plus ``"uniform"``, ``"hotspot"``,
 #: ``"transpose"`` and ``"bursty"``; all seed-deterministic).
 traffic_scenarios = Registry("traffic scenario", provider="repro.simulation.scenarios")
+
+#: Correlated fault-schedule generators (built-ins live in
+#: :mod:`repro.simulation.fault_models`: ``"uniform"`` — the PR 6
+#: uniform-random reference — plus ``"spatial_burst"``, ``"cascade"`` and
+#: ``"mtbf"``).  A model is a seeded pure function
+#: ``(design, **params) -> EventSchedule``;
+#: :attr:`repro.api.spec.RunSpec.fault_model` selects one and
+#: :attr:`~repro.api.spec.RunSpec.fault_params` parameterizes it.
+fault_models = Registry("fault model", provider="repro.simulation.fault_models")
+
+#: Recovery policies applied by the in-simulation
+#: :class:`~repro.simulation.recovery.RecoveryController` when a fault batch
+#: lands (built-ins live in :mod:`repro.simulation.recovery`: ``"removal"``
+#: — reroute + re-run deadlock removal, the default — plus ``"reroute"``,
+#: ``"idle"`` and ``"protection"``).
+#: :attr:`repro.api.spec.RunSpec.fault_recovery` selects one.
+recovery_policies = Registry("recovery policy", provider="repro.simulation.recovery")

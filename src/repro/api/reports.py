@@ -18,6 +18,7 @@ add custom figures the same way it adds removal engines::
 
 from __future__ import annotations
 
+import math
 from typing import Any, Dict, List, Mapping, Optional, Sequence
 
 from repro.analysis.metrics import arithmetic_mean
@@ -71,9 +72,44 @@ def _spec_params(params: Mapping[str, Any]) -> Dict[str, Any]:
             "sim_cycles",
             "buffer_depth",
             "fault_schedule",
+            "fault_model",
+            "fault_params",
+            "fault_recovery",
         )
         if key in params
     }
+
+
+def _percentile(values: Sequence[float], pct: float) -> Optional[float]:
+    """Nearest-rank percentile (the availability report's estimator).
+
+    Deterministic and exact for the small per-policy sample sizes the
+    report works with; returns ``None`` on an empty sample.
+    """
+    if not values:
+        return None
+    ordered = sorted(values)
+    rank = max(1, math.ceil(pct / 100.0 * len(ordered)))
+    return ordered[rank - 1]
+
+
+def _sentinel_free(entry: Dict[str, Any]) -> Dict[str, Any]:
+    """Recompute recovery aggregates of a ``resilience`` record in place.
+
+    ``recovery_cycles`` keeps ``-1`` as its "never drained" wire sentinel
+    for cache compatibility; the formatters must never average it into a
+    latency number.  Recomputing from the raw list (rather than trusting
+    ``mean_recovery_cycles``) also upgrades records cached before the
+    ``batches_never_drained`` count existed.
+    """
+    cycles = entry.get("recovery_cycles")
+    if cycles is not None:
+        drained = [c for c in cycles if c >= 0]
+        entry["mean_recovery_cycles"] = (
+            sum(drained) / len(drained) if drained else 0.0
+        )
+        entry["batches_never_drained"] = sum(1 for c in cycles if c < 0)
+    return entry
 
 
 class ReportType:
@@ -310,7 +346,8 @@ class _ResilienceReport(ReportType):
 
     def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
         extra = _spec_params(params)
-        extra.setdefault("fault_schedule", dict(DEFAULT_FAULT_SCHEDULE))
+        if "fault_model" not in extra:
+            extra.setdefault("fault_schedule", dict(DEFAULT_FAULT_SCHEDULE))
         return [
             RunSpec(
                 benchmark=self._benchmark(params),
@@ -329,7 +366,7 @@ class _ResilienceReport(ReportType):
         variants: Dict[str, Any] = {}
         for variant in SIMULATED_VARIANTS:
             metrics = simulation.get("variants", {}).get(variant, {})
-            entry = dict(metrics.get("resilience", {}))
+            entry = _sentinel_free(dict(metrics.get("resilience", {})))
             entry.update(
                 average_latency=metrics.get("average_latency"),
                 delivered_flits_per_cycle=metrics.get("delivered_flits_per_cycle"),
@@ -345,6 +382,135 @@ class _ResilienceReport(ReportType):
             "sim_engine": simulation.get("engine", "compiled"),
             "fault_schedule": simulation.get("fault_schedule"),
             "variants": variants,
+        }
+
+
+#: Default recovery policies of the ``availability`` report, compared in
+#: registry order.
+DEFAULT_AVAILABILITY_POLICIES: List[str] = ["removal", "reroute", "idle", "protection"]
+
+#: Default fault seeds of the ``availability`` report (a ten-draw grid, the
+#: smallest sample the percentile columns are meaningful over).
+DEFAULT_AVAILABILITY_SEEDS: List[int] = list(range(10))
+
+
+class _AvailabilityReport(ReportType):
+    """Multi-seed availability of one benchmark point under one fault model.
+
+    The statistical upgrade of the single-schedule ``resilience`` report:
+    one simulating :class:`RunSpec` per (recovery policy × fault seed),
+    every point an independently cached artifact.  The spec's own ``seed``
+    stays fixed across the grid — only ``fault_params["seed"]`` varies —
+    so all points share one synthesized design (one design-cache entry)
+    and identical traffic, isolating the fault draw as the only source of
+    variance.  The render folds one chosen design variant (default
+    ``"removal"``, the paper's protected design) into per-policy
+    availability columns: delivered fraction, nearest-rank p50/p95/p99
+    recovery latency over the pooled drained batches, the flit-loss
+    distribution, never-drained batch counts and the fraction of seeds
+    that stayed post-fault deadlock-free.
+
+    Parameters: ``benchmark`` (default ``"D36_8"``), ``switch_count``
+    (default 14), ``injection_scale`` (default 1.0), ``fault_model``
+    (default ``"uniform"``), ``fault_params``, ``recovery_policies``
+    (default :data:`DEFAULT_AVAILABILITY_POLICIES`), ``seeds`` (fault
+    seeds, default :data:`DEFAULT_AVAILABILITY_SEEDS`), ``variant``,
+    ``seed`` (the fixed design/traffic seed) and any simulation field
+    (``sim_engine``, ``traffic_scenario``, ``sim_cycles``,
+    ``buffer_depth``).
+    """
+
+    def _benchmark(self, params: Mapping[str, Any]) -> str:
+        return params.get("benchmark", "D36_8")
+
+    def _switch_count(self, params: Mapping[str, Any]) -> int:
+        return params.get("switch_count", FIGURE10_SWITCH_COUNT)
+
+    def _fault_model(self, params: Mapping[str, Any]) -> str:
+        return params.get("fault_model", "uniform")
+
+    def _policies(self, params: Mapping[str, Any]) -> List[str]:
+        return list(params.get("recovery_policies", DEFAULT_AVAILABILITY_POLICIES))
+
+    def _seeds(self, params: Mapping[str, Any]) -> List[int]:
+        return list(params.get("seeds", DEFAULT_AVAILABILITY_SEEDS))
+
+    def _variant(self, params: Mapping[str, Any]) -> str:
+        return params.get("variant", "removal")
+
+    def specs(self, params: Mapping[str, Any]) -> List[RunSpec]:
+        extra = _spec_params(params)
+        # The report's own axes, never a pass-through.
+        extra.pop("fault_model", None)
+        extra.pop("fault_params", None)
+        extra.pop("fault_recovery", None)
+        fault_params = dict(params.get("fault_params", {}))
+        return [
+            RunSpec(
+                benchmark=self._benchmark(params),
+                switch_count=self._switch_count(params),
+                seed=params.get("seed", 0),
+                injection_scale=params.get("injection_scale", 1.0),
+                fault_model=self._fault_model(params),
+                fault_params={**fault_params, "seed": fault_seed},
+                fault_recovery=policy,
+                **extra,
+            )
+            for policy in self._policies(params)
+            for fault_seed in self._seeds(params)
+        ]
+
+    def render(self, params, lookup) -> Dict[str, Any]:
+        policies = self._policies(params)
+        seeds = self._seeds(params)
+        variant = self._variant(params)
+        results = self._results(params, lookup)
+        per_policy: Dict[str, Any] = {}
+        for index, policy in enumerate(policies):
+            rows = results[index * len(seeds) : (index + 1) * len(seeds)]
+            delivered: List[float] = []
+            flits_lost: List[int] = []
+            pooled_recovery: List[int] = []
+            never_drained = 0
+            deadlock_free_seeds = 0
+            for row in rows:
+                metrics = (row.simulation or {}).get("variants", {}).get(variant, {})
+                injected = metrics.get("packets_injected") or 0
+                delivered.append(
+                    metrics.get("packets_delivered", 0) / injected if injected else 0.0
+                )
+                resilience = _sentinel_free(dict(metrics.get("resilience", {})))
+                flits_lost.append(resilience.get("flits_lost", 0))
+                cycles = resilience.get("recovery_cycles", [])
+                pooled_recovery.extend(c for c in cycles if c >= 0)
+                never_drained += resilience.get("batches_never_drained", 0)
+                if resilience.get("post_fault_deadlock_free") is not False:
+                    deadlock_free_seeds += 1
+            per_policy[policy] = {
+                "delivered_fraction": delivered,
+                "mean_delivered_fraction": arithmetic_mean(delivered) if delivered else 0.0,
+                "recovery_cycles_p50": _percentile(pooled_recovery, 50),
+                "recovery_cycles_p95": _percentile(pooled_recovery, 95),
+                "recovery_cycles_p99": _percentile(pooled_recovery, 99),
+                "recovery_samples": len(pooled_recovery),
+                "batches_never_drained": never_drained,
+                "flits_lost": flits_lost,
+                "mean_flits_lost": arithmetic_mean(flits_lost) if flits_lost else 0.0,
+                "deadlock_free_fraction": (
+                    deadlock_free_seeds / len(rows) if rows else 0.0
+                ),
+            }
+        first = results[0].simulation if results else {}
+        return {
+            "benchmark": self._benchmark(params),
+            "switch_count": self._switch_count(params),
+            "injection_scale": params.get("injection_scale", 1.0),
+            "fault_model": self._fault_model(params),
+            "fault_params": dict(params.get("fault_params", {})),
+            "seeds": seeds,
+            "variant": variant,
+            "sim_engine": first.get("engine", "compiled") if first else "compiled",
+            "policies": per_policy,
         }
 
 
@@ -510,6 +676,7 @@ class _ScaleReport(ReportType):
 report_types.register("latency", _LatencyReport())
 report_types.register("scale", _ScaleReport())
 report_types.register("resilience", _ResilienceReport())
+report_types.register("availability", _AvailabilityReport())
 report_types.register("figure8", _SwitchCountSweepReport("D26_media", FIGURE8_SWITCH_COUNTS))
 report_types.register("figure9", _SwitchCountSweepReport("D36_8", FIGURE9_SWITCH_COUNTS))
 report_types.register("figure10", _Figure10PowerReport())

@@ -112,20 +112,24 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
     pressure — are recorded in the metrics, never raised.
     """
     from repro.analysis.performance import measure_load_point  # local: lazy sim import
-    from repro.simulation.events import EventSchedule  # local: lazy sim import
+    from repro.simulation.fault_models import build_fault_schedule  # local: lazy sim import
 
     designs = {
         "unprotected": comparison.unprotected,
         "removal": comparison.removal.design,
         "ordering": comparison.ordering.design,
     }
-    # Resolve a fault-schedule request once, against the unprotected
-    # topology: the protected variants only ever *add* channels on the
-    # same physical links, so a schedule drawn here targets links that
-    # exist in every variant — all three degrade under identical faults.
-    schedule = EventSchedule.from_spec(
-        spec.fault_schedule,
-        topology=comparison.unprotected.topology,
+    # Resolve a fault-schedule request (explicit document or fault-model
+    # generator) once, against the unprotected design: the protected
+    # variants only ever *add* channels on the same physical links, so a
+    # schedule drawn here targets links that exist in every variant — all
+    # three degrade under identical faults.  The cascade model also reads
+    # the unprotected design's link loads, which every variant shares.
+    schedule = build_fault_schedule(
+        comparison.unprotected,
+        fault_model=spec.fault_model,
+        fault_params=spec.fault_params,
+        fault_schedule=spec.fault_schedule,
         seed=spec.seed,
     )
     variants = {
@@ -139,6 +143,7 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
             scenario_params=spec.scenario_params,
             sim_engine=spec.sim_engine,
             fault_schedule=schedule,
+            fault_recovery=spec.fault_recovery,
         )
         for variant in SIMULATED_VARIANTS
     }
@@ -155,6 +160,12 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
         simulation["scenario_params"] = dict(spec.scenario_params)
     if spec.fault_schedule is not None:
         simulation["fault_schedule"] = dict(spec.fault_schedule)
+    if spec.fault_model is not None:
+        simulation["fault_model"] = spec.fault_model
+        if spec.fault_params:
+            simulation["fault_params"] = dict(spec.fault_params)
+    if schedule is not None:
+        simulation["fault_recovery"] = spec.fault_recovery
     return simulation
 
 

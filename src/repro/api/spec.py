@@ -27,6 +27,9 @@ Plan schema (``format_version`` 1)::
          "fault_schedule": {"random": {"link_failures": 2,
                                        "start_cycle": 100, "end_cycle": 800,
                                        "restore_after": 500}}},
+        {"benchmark": "D36_8", "switch_count": 14, "injection_scale": 1.0,
+         "fault_model": "spatial_burst", "fault_params": {"radius": 2},
+         "fault_recovery": "protection", "seeds": [0, 1, 2, 3]},
         {"benchmark": "uniform_c64_f2", "topology_family": "fat_tree",
          "family_params": {"k": 8}, "switch_count": 80,
          "injection_scale": 1.0, "traffic_scenario": "trace",
@@ -66,6 +69,18 @@ or a deterministic seeded request (``seed`` defaults to the spec's own)::
 
     {"random": {"link_failures": 1, "router_failures": 1,
                 "start_cycle": 100, "end_cycle": 1000}}
+
+``fault_model`` names a correlated generator from
+:data:`repro.api.registry.fault_models` instead (``uniform``,
+``spatial_burst``, ``cascade``, ``mtbf``); ``fault_params`` parameterizes
+it and the schedule derives deterministically from the synthesized design
+and the spec's seed, so a ``seeds`` grid sweeps the model.
+``fault_recovery`` picks the repair policy from
+:data:`repro.api.registry.recovery_policies` (``removal`` — the default —
+``reroute``, ``idle`` or ``protection``).  ``fault_model`` and
+``fault_schedule`` are mutually exclusive; all three fields are elided
+from the serialized form when left at their defaults, so pre-existing
+cache addresses hold.
 """
 
 from __future__ import annotations
@@ -100,6 +115,9 @@ _SPEC_FIELDS = (
     "sim_cycles",
     "buffer_depth",
     "fault_schedule",
+    "fault_model",
+    "fault_params",
+    "fault_recovery",
 )
 
 
@@ -175,7 +193,26 @@ class RunSpec:
         ``{"random": {...}}`` request (see
         :meth:`repro.simulation.events.EventSchedule.from_spec`; a random
         request without its own ``seed`` inherits the spec's).  Only
-        meaningful together with ``injection_scale``.
+        meaningful together with ``injection_scale``; mutually exclusive
+        with ``fault_model``.
+    fault_model:
+        Optional name in :data:`repro.api.registry.fault_models` of a
+        correlated fault-schedule generator (``uniform``,
+        ``spatial_burst``, ``cascade``, ``mtbf``).  The schedule is
+        generated deterministically against the *synthesized* design
+        with the spec's seed, so one spec per seed sweeps a fault model
+        (the ``availability`` report builds exactly that grid).  Elided
+        from the serialized form when unset, so pre-existing cache
+        addresses hold; mutually exclusive with ``fault_schedule``.
+    fault_params:
+        Keyword parameters of the fault model (e.g. ``{"radius": 2}``
+        for ``spatial_burst``); a ``"seed"`` entry overrides the spec's.
+        Only meaningful with ``fault_model``; elided when empty.
+    fault_recovery:
+        Name in :data:`repro.api.registry.recovery_policies` of the
+        recovery policy repairing the route set after each fault batch
+        (``removal``, ``reroute``, ``idle``, ``protection``).  Elided
+        when left at the default ``"removal"`` (the PR 6 behaviour).
     """
 
     benchmark: str
@@ -195,6 +232,9 @@ class RunSpec:
     sim_cycles: int = 3000
     buffer_depth: int = 4
     fault_schedule: Optional[Dict[str, Any]] = None
+    fault_model: Optional[str] = None
+    fault_params: Dict[str, Any] = field(default_factory=dict)
+    fault_recovery: str = "removal"
 
     def __post_init__(self):
         if not isinstance(self.benchmark, str) or not self.benchmark:
@@ -274,6 +314,30 @@ class RunSpec:
                     "fault_schedule needs an 'events' list or a 'random' request"
                 )
             self.fault_schedule = dict(self.fault_schedule)
+        if self.fault_model is not None:
+            if not isinstance(self.fault_model, str) or not self.fault_model:
+                raise PlanError(
+                    f"fault_model must be a non-empty string or null, "
+                    f"got {self.fault_model!r}"
+                )
+            if self.fault_schedule is not None:
+                raise PlanError(
+                    "fault_model and fault_schedule are mutually exclusive ways "
+                    "to request fault injection; set only one"
+                )
+        if not isinstance(self.fault_params, dict):
+            raise PlanError(
+                f"fault_params must be a mapping, got {self.fault_params!r}"
+            )
+        self.fault_params = dict(self.fault_params)
+        if self.fault_params and self.fault_model is None:
+            raise PlanError(
+                "fault_params given without a fault_model to apply them to"
+            )
+        if not isinstance(self.fault_recovery, str) or not self.fault_recovery:
+            raise PlanError(
+                f"fault_recovery must be a non-empty string, got {self.fault_recovery!r}"
+            )
 
     # ------------------------------------------------------------------
     def to_dict(self) -> Dict[str, Any]:
@@ -369,6 +433,9 @@ _SIM_AXIS_FIELDS = (
     "sim_cycles",
     "buffer_depth",
     "fault_schedule",
+    "fault_model",
+    "fault_params",
+    "fault_recovery",
 )
 _FAMILY_AXIS_FIELDS = (
     "topology_family",
@@ -483,6 +550,9 @@ def expand_run_entry(
             "sim_cycles",
             "buffer_depth",
             "fault_schedule",
+            "fault_model",
+            "fault_params",
+            "fault_recovery",
         )
         if key in merged
     }

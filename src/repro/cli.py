@@ -28,7 +28,9 @@ from pathlib import Path
 from typing import List, Optional
 
 from repro.api.registry import (
+    fault_models,
     ordering_strategies,
+    recovery_policies,
     removal_engines,
     routing_engines,
     simulation_engines,
@@ -155,7 +157,21 @@ def _load_fault_schedule(value: Optional[str]):
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.simulation.fault_models import build_fault_schedule  # local: lazy import
+
     design = load_design(args.design)
+    fault_params = _parse_json_object(args.fault_params, "--fault-params")
+    if args.fault_params is not None and args.fault_model is None:
+        raise SystemExit("--fault-params needs --fault-model")
+    # Resolves --fault-model through the registry or --fault-schedule via
+    # EventSchedule.from_spec (and rejects passing both).
+    schedule = build_fault_schedule(
+        design,
+        fault_model=args.fault_model,
+        fault_params=fault_params,
+        fault_schedule=_load_fault_schedule(args.fault_schedule),
+        seed=args.seed,
+    )
     config = SimulationConfig(
         injection_scale=args.injection_scale,
         buffer_depth=args.buffer_depth,
@@ -169,7 +185,8 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
         config=config,
         engine=args.engine,
         cross_check=args.cross_check,
-        fault_schedule=_load_fault_schedule(args.fault_schedule),
+        fault_schedule=schedule,
+        fault_recovery=args.recovery_policy,
     )
     print(stats.summary())
     return 1 if stats.deadlock_detected else 0
@@ -389,6 +406,27 @@ def build_parser() -> argparse.ArgumentParser:
         help="inject link/router failures mid-run: a JSON document (inline "
         "when starting with '{', otherwise a file path) with an 'events' "
         "list or a seeded 'random' request",
+    )
+    p.add_argument(
+        "--fault-model",
+        choices=fault_models.names(),
+        default=None,
+        help="generate the fault schedule from a correlated model instead "
+        "of --fault-schedule (seeded from --seed)",
+    )
+    p.add_argument(
+        "--fault-params",
+        default=None,
+        metavar="JSON",
+        help="fault-model parameters as a JSON object, e.g. "
+        "'{\"radius\": 2}' for spatial_burst (requires --fault-model)",
+    )
+    p.add_argument(
+        "--recovery-policy",
+        choices=recovery_policies.names(),
+        default="removal",
+        help="recovery policy repairing the route set after each fault "
+        "batch (default: removal)",
     )
     p.set_defaults(func=_cmd_simulate)
 

@@ -52,6 +52,8 @@ class EngineTestCoverageRule(LintRule):
             "simulation_engines",
             "traffic_scenarios",
             "topology_families",
+            "fault_models",
+            "recovery_policies",
         }
     )
 

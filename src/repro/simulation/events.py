@@ -19,7 +19,11 @@ attach to their topology objects:
   fail event removed, with the VC count and physical length they had at
   failure time.  Restoring something that was never failed (or is already
   back) is a no-op, so random schedules never have to be consistency
-  checked.
+  checked.  Targets must exist in the healthy topology though:
+  :meth:`EventSchedule.validate_targets` rejects a schedule naming an
+  unknown link or switch before the run starts, and every resolution
+  path that knows the topology (:meth:`EventSchedule.from_spec`, the
+  :data:`repro.api.registry.fault_models` generators) applies it.
 
 The seeded generator (:meth:`EventSchedule.random`) draws every choice
 from one :class:`random.Random` over *sorted* link/switch lists, so a
@@ -205,6 +209,36 @@ class EventSchedule:
         return cls(FaultEvent.from_dict(entry) for entry in events)
 
     # ------------------------------------------------------------------
+    # target validation
+    # ------------------------------------------------------------------
+    def validate_targets(self, topology: Topology) -> "EventSchedule":
+        """Check every event's target against ``topology`` up front.
+
+        A link event must name a physical link of the (healthy) topology
+        and a router event one of its switches; anything else raises a
+        :class:`~repro.errors.SimulationError` naming the missing target
+        *before* the run starts, instead of producing a schedule whose
+        events silently no-op (or KeyError) mid-simulation.  Returns the
+        schedule, so resolution helpers can chain on it.
+        """
+        for event in self.events:
+            if event.is_link_event:
+                if not topology.has_link(event.link):
+                    src, dst, index = event.target
+                    raise SimulationError(
+                        f"fault event {event.action!r} at cycle {event.cycle} "
+                        f"targets link {src}->{dst} (index {index}), which "
+                        f"does not exist in topology {topology.name!r}"
+                    )
+            elif not topology.has_switch(event.switch):
+                raise SimulationError(
+                    f"fault event {event.action!r} at cycle {event.cycle} "
+                    f"targets switch {event.switch!r}, which does not exist "
+                    f"in topology {topology.name!r}"
+                )
+        return self
+
+    # ------------------------------------------------------------------
     # seeded random generation
     # ------------------------------------------------------------------
     @classmethod
@@ -247,7 +281,7 @@ class EventSchedule:
             schedule.fail_router(cycle, switch)
             if restore_after is not None:
                 schedule.restore_router(cycle + restore_after, switch)
-        return schedule
+        return schedule.validate_targets(topology)
 
     # ------------------------------------------------------------------
     @classmethod
@@ -269,6 +303,8 @@ class EventSchedule:
         if value is None:
             return None
         if isinstance(value, EventSchedule):
+            if topology is not None:
+                value.validate_targets(topology)
             return value
         if not isinstance(value, Mapping):
             raise SimulationError(
@@ -293,7 +329,10 @@ class EventSchedule:
             params.setdefault("seed", seed)
             return cls.random(topology, **params)
         if "events" in value:
-            return cls.from_dict(value)
+            schedule = cls.from_dict(value)
+            if topology is not None:
+                schedule.validate_targets(topology)
+            return schedule
         raise SimulationError(
             "fault schedule mapping needs an 'events' list or a 'random' request"
         )

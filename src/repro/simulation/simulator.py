@@ -81,9 +81,13 @@ class SimulationConfig:
         on a private copy of the design (recovery mutates topology and
         routes) and a cross-check re-run replays the same schedule.
     fault_recovery:
-        ``"removal"`` (default) re-runs deadlock removal after every
-        recovery re-route; ``"reroute"`` skips it, leaving whatever CDG
-        the re-router produced (used to study unprotected degradation).
+        Name in :data:`repro.api.registry.recovery_policies` of the
+        policy repairing the route set after each fault batch:
+        ``"removal"`` (default) re-routes and re-runs deadlock removal,
+        ``"reroute"`` skips the removal re-run (used to study
+        unprotected degradation), ``"idle"`` quiesces severed flows
+        until their links restore, and ``"protection"`` swaps in
+        pre-provisioned backup routes with no mid-run routing.
     """
 
     buffer_depth: int = 4
@@ -132,6 +136,10 @@ class Simulator:
             self._recovery = RecoveryController(
                 design, schedule, mode=self.config.fault_recovery
             )
+            # The policy's prepare hook may replace the design (protection
+            # provisions backup VCs before the run starts), so the network
+            # must be built from the controller's view of it.
+            design = self._recovery.design
         self.design = design
         self.network = self._build_network(design)
         self.generator = make_traffic_generator(design, self.config)
@@ -287,6 +295,7 @@ def simulate_design(
     drain: bool = True,
     drain_cycles: int = 5_000,
     fault_schedule=None,
+    fault_recovery: Optional[str] = None,
 ) -> SimulationStats:
     """One-call convenience wrapper around the pluggable simulation engines.
 
@@ -302,7 +311,9 @@ def simulate_design(
     ``{"events": [...]}`` document, or a ``{"random": {...}}`` request
     resolved against the design's topology with the config's seed — and
     overrides :attr:`SimulationConfig.fault_schedule`.  The cross-check
-    re-run replays the identical schedule.
+    re-run replays the identical schedule.  ``fault_recovery`` names a
+    :data:`repro.api.registry.recovery_policies` entry and overrides
+    :attr:`SimulationConfig.fault_recovery`.
     """
     config = config or SimulationConfig()
     if fault_schedule is not None:
@@ -312,6 +323,8 @@ def simulate_design(
                 fault_schedule, topology=design.topology, seed=config.seed
             ),
         )
+    if fault_recovery is not None:
+        config = replace(config, fault_recovery=fault_recovery)
     simulator = build_simulator(design, config, engine=engine)
     run_kwargs = dict(
         drain=drain, drain_cycles=drain_cycles, raise_on_deadlock=raise_on_deadlock

@@ -50,6 +50,16 @@ class SimulationStats:
         return self.deadlock_cycle is not None
 
     @property
+    def batches_never_drained(self) -> int:
+        """Fault batches whose surviving in-flight packets never left.
+
+        Counts the ``-1`` sentinels in :attr:`recovery_cycles`.  Derived
+        (not a dataclass field) so the cross-check field comparison and
+        cached result records keep their exact historical shape.
+        """
+        return sum(1 for cycles in self.recovery_cycles if cycles < 0)
+
+    @property
     def packets_in_flight(self) -> int:
         """Packets injected but not delivered when the run stopped."""
         return self.packets_injected - self.packets_delivered
