@@ -1,12 +1,24 @@
-"""Setup shim.
+"""Packaging entry point.
 
 The environment used for development has no ``wheel`` package available
 offline, so PEP 660 editable installs (``pip install -e .`` with build
-isolation) cannot build the editable wheel.  This shim lets the classic
-``pip install -e . --no-build-isolation --no-use-pep517`` path (setuptools
-``develop``) work; all project metadata lives in ``pyproject.toml``.
+isolation) cannot build the editable wheel.  This classic setuptools file
+keeps the ``pip install -e . --no-build-isolation --no-use-pep517`` path
+(setuptools ``develop``) working and declares the runtime dependencies:
+``networkx`` for topology/routing graphs and ``numpy`` for the batched
+structure-of-arrays simulation engine (:mod:`repro.perf.batch_engine`;
+imported lazily, so every other engine works without it).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="noc-deadlock",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.9",
+    install_requires=[
+        "networkx",
+        "numpy",
+    ],
+)

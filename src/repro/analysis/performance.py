@@ -28,6 +28,7 @@ from repro.simulation.simulator import (
     DEFAULT_SIMULATION_ENGINE,
     SimulationConfig,
     build_simulator,
+    make_traffic_generator,
     verify_against_legacy,
 )
 
@@ -129,19 +130,7 @@ def measure_load_point(
     stats = simulator.run(max_cycles)
     if cross_check and sim_engine != "legacy":
         verify_against_legacy(design, config, stats, sim_engine, max_cycles=max_cycles)
-    metrics = {
-        "injection_scale": injection_scale,
-        "offered_flits_per_cycle": offered,
-        "delivered_flits_per_cycle": stats.throughput_flits_per_cycle,
-        "average_latency": stats.average_latency,
-        "max_latency": stats.max_latency,
-        "packets_injected": stats.packets_injected,
-        "packets_delivered": stats.packets_delivered,
-        "flits_delivered": stats.flits_delivered,
-        "cycles_run": stats.cycles_run,
-        "deadlocked": stats.deadlock_detected,
-        "deadlock_cycle": stats.deadlock_cycle,
-    }
+    metrics = _point_metrics(injection_scale, offered, stats)
     if schedule is not None and len(schedule):
         recovered = [c for c in stats.recovery_cycles if c >= 0]
         metrics["resilience"] = {
@@ -157,6 +146,77 @@ def measure_load_point(
             "post_fault_deadlock_free": stats.post_fault_deadlock_free,
         }
     return metrics
+
+
+def _point_metrics(injection_scale: float, offered: float, stats) -> Dict[str, Any]:
+    """The fault-free metrics dictionary of one simulated load point.
+
+    Shared by :func:`measure_load_point` and :func:`measure_load_grid` so a
+    batched grid cell and a solo run serialize to byte-identical documents.
+    """
+    return {
+        "injection_scale": injection_scale,
+        "offered_flits_per_cycle": offered,
+        "delivered_flits_per_cycle": stats.throughput_flits_per_cycle,
+        "average_latency": stats.average_latency,
+        "max_latency": stats.max_latency,
+        "packets_injected": stats.packets_injected,
+        "packets_delivered": stats.packets_delivered,
+        "flits_delivered": stats.flits_delivered,
+        "cycles_run": stats.cycles_run,
+        "deadlocked": stats.deadlock_detected,
+        "deadlock_cycle": stats.deadlock_cycle,
+    }
+
+
+def measure_load_grid(
+    design: NocDesign,
+    points: Sequence[Dict[str, Any]],
+    *,
+    max_cycles: int = 3000,
+    buffer_depth: int = 4,
+    cross_check: bool = False,
+) -> List[Dict[str, Any]]:
+    """Simulate several load points of one design as a single array program.
+
+    ``points`` are mappings with ``injection_scale`` (required) plus
+    optional ``seed``, ``traffic_scenario`` and ``scenario_params``; every
+    point runs for the shared ``max_cycles`` / ``buffer_depth``.  Returns
+    one metrics dictionary per point, in order, with exactly the shape
+    (and values) :func:`measure_load_point` produces for the same
+    arguments — the batched engine is field-identical to ``compiled``, and
+    ``cross_check=True`` re-runs every lane on the ``compiled`` engine and
+    raises :class:`~repro.errors.SimulationError` on any divergence.
+
+    Fault schedules cannot batch; route fault-injecting points through
+    :func:`measure_load_point` instead.
+    """
+    from repro.perf.batch_engine import run_batch  # local: lazy numpy import
+
+    configs = [
+        SimulationConfig(
+            injection_scale=point["injection_scale"],
+            buffer_depth=buffer_depth,
+            seed=point.get("seed", 0),
+            traffic_scenario=point.get("traffic_scenario", "flows"),
+            scenario_params=dict(point.get("scenario_params") or {}),
+        )
+        for point in points
+    ]
+    generators = [make_traffic_generator(design, config) for config in configs]
+    stats_list = run_batch(
+        design,
+        configs,
+        max_cycles=max_cycles,
+        cross_check=cross_check,
+        generators=generators,
+    )
+    return [
+        _point_metrics(
+            config.injection_scale, generator.offered_flits_per_cycle, stats
+        )
+        for config, generator, stats in zip(configs, generators, stats_list)
+    ]
 
 
 def _load_point_from_metrics(metrics: Dict[str, Any]) -> LoadPoint:

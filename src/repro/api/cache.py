@@ -3,13 +3,18 @@
 Artifacts are JSON documents stored under ``<root>/<kind>/<key[:2]>/<key>.json``
 where ``key`` is a SHA-256 content address derived from the producing
 :class:`~repro.api.spec.RunSpec` (see :meth:`RunSpec.fingerprint` and
-:meth:`RunSpec.synthesis_fingerprint`).  Two kinds are in use today:
+:meth:`RunSpec.synthesis_fingerprint`).  Three kinds are in use today:
 
 * ``"result"`` — the full :class:`~repro.api.result.RunResult` record of a
   spec, so repeating a sweep never re-runs synthesis, removal, ordering or
   the power/area models;
 * ``"design"`` — the synthesized (unprotected) design document, shared by
-  every spec that differs only in removal engine or ordering strategy.
+  every spec that differs only in removal engine or ordering strategy;
+* ``"costs"`` — the cost bundle (removal/ordering/power/area scalars plus
+  the three variant designs) keyed by
+  :meth:`~repro.api.spec.RunSpec.cost_fingerprint`, shared by every spec
+  that differs only along the simulation axis (e.g. the load points of
+  one latency sweep).
 
 Writes are atomic (temp file + ``os.replace``) so concurrent sweep workers
 can share one cache directory; a corrupt or truncated entry is treated as

@@ -8,6 +8,18 @@ The runner turns :class:`~repro.api.spec.RunSpec` points into
   the whole synthesize/remove/order/estimate pipeline.  On a result miss
   the synthesized design itself may still be served from the cache (specs
   that differ only in engine or strategy share it).
+* **cost bundles** — the cost side of a record (removal, ordering, power,
+  area *and* the three variant designs) is content-addressed separately
+  under :meth:`RunSpec.cost_fingerprint`, so the load points of a latency
+  sweep — which differ only along the simulation axis — pay the removal
+  pipeline once instead of once per point on a cold cache.
+* **batched simulation** — simulating specs with ``sim_engine: "batched"``
+  that share a cost bundle are grouped by :func:`_plan_batches` and run as
+  one structure-of-arrays program per design variant
+  (:func:`repro.analysis.performance.measure_load_grid`), still yielding
+  one cached :class:`RunResult` per spec with unchanged fingerprints and
+  record bytes.  Specs a batch cannot express fall back per-spec with a
+  structured ``[noc-lint {...}]`` warning.
 * **cheap fan-out** — plans execute over
   :func:`repro.perf.executor.parallel_map`; only the small spec dictionary
   crosses the process boundary, and every worker resolves the benchmark
@@ -20,20 +32,32 @@ The runner turns :class:`~repro.api.spec.RunSpec` points into
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Any, Dict, List, Optional, Tuple, Union
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 from repro.analysis.experiments import compare_methods
 from repro.api.cache import ArtifactCache
 from repro.api.result import RunResult
 from repro.api.spec import ExperimentPlan, RunSpec
 from repro.errors import ReproError
+from repro.lint.findings import structured_warning
+from repro.model.design import NocDesign
 from repro.model.serialization import design_from_dict, design_to_dict
 from repro.perf.executor import parallel_map, resolve_jobs
 
 RESULT_KIND = "result"
 DESIGN_KIND = "design"
+COST_KIND = "costs"
+
+#: Version tag of the cost-bundle cache document; bump on schema changes.
+COST_FORMAT_VERSION = 1
+
+#: Registry name of the batch-capable simulation engine.  A string (not an
+#: import from :mod:`repro.perf.batch_engine`) so planning a batch never
+#: imports the simulation stack.
+ENGINE_BATCHED = "batched"
 
 #: Environment variable overriding the default cache location.
 CACHE_DIR_ENV = "NOC_DEADLOCK_CACHE_DIR"
@@ -47,23 +71,106 @@ def default_cache_dir() -> Path:
     return Path.home() / ".cache" / "noc-deadlock"
 
 
-def execute_spec(spec: RunSpec, cache: Optional[ArtifactCache] = None) -> RunResult:
-    """Execute one spec, consulting and feeding ``cache`` when given.
+#: Design variants a simulating spec evaluates, in record order.
+SIMULATED_VARIANTS = ("unprotected", "removal", "ordering")
 
-    Cached documents are never trusted: any entry that fails to
-    deserialize (corrupt, stale schema version, missing fields) is treated
-    as a miss and recomputed, not raised.
+#: Scalar fields a cost bundle carries — exactly the non-simulation fields
+#: of :class:`RunResult`, keyed by their constructor names.
+_COST_SCALAR_FIELDS = (
+    "removal_extra_vcs",
+    "ordering_extra_vcs",
+    "removal_iterations",
+    "initial_cycle_count",
+    "removal_runtime_s",
+    "unprotected_power_mw",
+    "removal_power_mw",
+    "ordering_power_mw",
+    "unprotected_area_mm2",
+    "removal_area_mm2",
+    "ordering_area_mm2",
+)
+
+
+@dataclass
+class _CostBundle:
+    """Cost-side outcome of one design point, shared across load points.
+
+    ``scalars`` are the :class:`RunResult` constructor keywords (VC
+    counts, removal bookkeeping, power, area); ``designs`` maps each
+    :data:`SIMULATED_VARIANTS` entry to its :class:`NocDesign`.  Every
+    spec sharing a :meth:`RunSpec.cost_fingerprint` shares one bundle, so
+    its records carry *identical* cost scalars (including
+    ``removal_runtime_s``) no matter which load point ran first.
     """
+
+    scalars: Dict[str, Any]
+    designs: Dict[str, NocDesign]
+
+
+def _bundle_from_comparison(comparison) -> _CostBundle:
+    """Reduce a :class:`~repro.analysis.experiments.MethodComparison`."""
+    return _CostBundle(
+        scalars={
+            "removal_extra_vcs": comparison.removal_extra_vcs,
+            "ordering_extra_vcs": comparison.ordering_extra_vcs,
+            "removal_iterations": comparison.removal.iterations,
+            "initial_cycle_count": comparison.removal.initial_cycle_count,
+            "removal_runtime_s": comparison.removal.runtime_seconds,
+            "unprotected_power_mw": comparison.unprotected_power.total_power_mw,
+            "removal_power_mw": comparison.removal_power.total_power_mw,
+            "ordering_power_mw": comparison.ordering_power.total_power_mw,
+            "unprotected_area_mm2": comparison.unprotected_area.total_area_mm2,
+            "removal_area_mm2": comparison.removal_area.total_area_mm2,
+            "ordering_area_mm2": comparison.ordering_area.total_area_mm2,
+        },
+        designs={
+            "unprotected": comparison.unprotected,
+            "removal": comparison.removal.design,
+            "ordering": comparison.ordering.design,
+        },
+    )
+
+
+def _bundle_to_document(bundle: _CostBundle) -> Dict[str, Any]:
+    return {
+        "format_version": COST_FORMAT_VERSION,
+        "scalars": dict(bundle.scalars),
+        "designs": {
+            variant: design_to_dict(bundle.designs[variant])
+            for variant in SIMULATED_VARIANTS
+        },
+    }
+
+
+def _bundle_from_document(document: Mapping[str, Any]) -> Optional[_CostBundle]:
+    """Rebuild a cached cost bundle; any malformation is a miss (``None``)."""
+    try:
+        if document.get("format_version") != COST_FORMAT_VERSION:
+            return None
+        scalars = {name: document["scalars"][name] for name in _COST_SCALAR_FIELDS}
+        designs = {
+            variant: design_from_dict(document["designs"][variant])
+            for variant in SIMULATED_VARIANTS
+        }
+    except (KeyError, TypeError, ReproError):
+        return None
+    return _CostBundle(scalars=scalars, designs=designs)
+
+
+def _resolve_costs(spec: RunSpec, cache: Optional[ArtifactCache] = None) -> _CostBundle:
+    """The spec's cost bundle: cached under ``cost_fingerprint`` or computed.
+
+    On a bundle miss the synthesized (unprotected) design may still be
+    served from the ``design`` cache (specs differing only in engine or
+    strategy share it), exactly as before the cost-bundle layer.
+    """
+    cost_key = spec.cost_fingerprint()
     if cache is not None:
-        document = cache.get(RESULT_KIND, spec.fingerprint())
+        document = cache.get(COST_KIND, cost_key)
         if document is not None:
-            try:
-                result = RunResult.from_dict(document)
-            except ReproError:
-                result = None
-            if result is not None:
-                result.cache_hit = True
-                return result
+            bundle = _bundle_from_document(document)
+            if bundle is not None:
+                return bundle
 
     unprotected = None
     design_key = spec.synthesis_fingerprint()
@@ -90,63 +197,64 @@ def execute_spec(spec: RunSpec, cache: Optional[ArtifactCache] = None) -> RunRes
         family_params=spec.family_params,
         unprotected=unprotected,
     )
-    simulation = _simulate_spec(spec, comparison) if spec.injection_scale else None
-    result = RunResult.from_comparison(spec, comparison, simulation=simulation)
+    bundle = _bundle_from_comparison(comparison)
     if cache is not None:
         if unprotected is None:
             cache.put(DESIGN_KIND, design_key, design_to_dict(comparison.unprotected))
+        cache.put(COST_KIND, cost_key, _bundle_to_document(bundle))
+    return bundle
+
+
+def execute_spec(
+    spec: RunSpec,
+    cache: Optional[ArtifactCache] = None,
+    *,
+    sim_engine_override: Optional[str] = None,
+) -> RunResult:
+    """Execute one spec, consulting and feeding ``cache`` when given.
+
+    Cached documents are never trusted: any entry that fails to
+    deserialize (corrupt, stale schema version, missing fields) is treated
+    as a miss and recomputed, not raised.
+
+    ``sim_engine_override`` runs the simulation on a different registered
+    engine than ``spec.sim_engine`` *without changing the record* (the
+    ``simulation.engine`` field keeps the spec's spelling) — the batch
+    planner's fallback path for specs the batched engine accepts but
+    cannot group, which is only sound because every engine is
+    field-identical by contract.
+    """
+    if cache is not None:
+        document = cache.get(RESULT_KIND, spec.fingerprint())
+        if document is not None:
+            try:
+                result = RunResult.from_dict(document)
+            except ReproError:
+                result = None
+            if result is not None:
+                result.cache_hit = True
+                return result
+
+    bundle = _resolve_costs(spec, cache)
+    simulation = (
+        _simulate_spec(spec, bundle.designs, sim_engine_override=sim_engine_override)
+        if spec.injection_scale
+        else None
+    )
+    result = RunResult(spec=spec, simulation=simulation, **bundle.scalars)
+    if cache is not None:
         cache.put(RESULT_KIND, spec.fingerprint(), result.to_dict())
     return result
 
 
-#: Design variants a simulating spec evaluates, in record order.
-SIMULATED_VARIANTS = ("unprotected", "removal", "ordering")
+def _simulation_document(
+    spec: RunSpec, variants: Dict[str, Any], schedule
+) -> Dict[str, Any]:
+    """Assemble the record's ``simulation`` section from per-variant metrics.
 
-
-def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
-    """Wormhole-simulate the comparison's designs at the spec's load point.
-
-    All three variants run with the same engine, scenario and seed (the
-    seed is :attr:`RunSpec.seed`, so repeated executions of one spec are
-    reproducible); deadlocks — expected for the unprotected variant under
-    pressure — are recorded in the metrics, never raised.
+    One assembly point for the solo and batched paths, so both serialize
+    byte-identically for the same spec and metrics.
     """
-    from repro.analysis.performance import measure_load_point  # local: lazy sim import
-    from repro.simulation.fault_models import build_fault_schedule  # local: lazy sim import
-
-    designs = {
-        "unprotected": comparison.unprotected,
-        "removal": comparison.removal.design,
-        "ordering": comparison.ordering.design,
-    }
-    # Resolve a fault-schedule request (explicit document or fault-model
-    # generator) once, against the unprotected design: the protected
-    # variants only ever *add* channels on the same physical links, so a
-    # schedule drawn here targets links that exist in every variant — all
-    # three degrade under identical faults.  The cascade model also reads
-    # the unprotected design's link loads, which every variant shares.
-    schedule = build_fault_schedule(
-        comparison.unprotected,
-        fault_model=spec.fault_model,
-        fault_params=spec.fault_params,
-        fault_schedule=spec.fault_schedule,
-        seed=spec.seed,
-    )
-    variants = {
-        variant: measure_load_point(
-            designs[variant],
-            injection_scale=spec.injection_scale,
-            max_cycles=spec.sim_cycles,
-            buffer_depth=spec.buffer_depth,
-            seed=spec.seed,
-            traffic_scenario=spec.traffic_scenario,
-            scenario_params=spec.scenario_params,
-            sim_engine=spec.sim_engine,
-            fault_schedule=schedule,
-            fault_recovery=spec.fault_recovery,
-        )
-        for variant in SIMULATED_VARIANTS
-    }
     simulation = {
         "engine": spec.sim_engine,
         "traffic_scenario": spec.traffic_scenario,
@@ -169,16 +277,277 @@ def _simulate_spec(spec: RunSpec, comparison) -> Dict[str, Any]:
     return simulation
 
 
-def _run_spec_task(task: Tuple[Dict[str, Any], Optional[str]]) -> RunResult:
-    """Process-pool worker: one spec dictionary + cache directory.
+def _simulate_spec(
+    spec: RunSpec,
+    designs: Dict[str, NocDesign],
+    *,
+    sim_engine_override: Optional[str] = None,
+) -> Dict[str, Any]:
+    """Wormhole-simulate the bundle's designs at the spec's load point.
+
+    All three variants run with the same engine, scenario and seed (the
+    seed is :attr:`RunSpec.seed`, so repeated executions of one spec are
+    reproducible); deadlocks — expected for the unprotected variant under
+    pressure — are recorded in the metrics, never raised.
+    """
+    from repro.analysis.performance import measure_load_point  # local: lazy sim import
+    from repro.simulation.fault_models import build_fault_schedule  # local: lazy sim import
+
+    # Resolve a fault-schedule request (explicit document or fault-model
+    # generator) once, against the unprotected design: the protected
+    # variants only ever *add* channels on the same physical links, so a
+    # schedule drawn here targets links that exist in every variant — all
+    # three degrade under identical faults.  The cascade model also reads
+    # the unprotected design's link loads, which every variant shares.
+    schedule = build_fault_schedule(
+        designs["unprotected"],
+        fault_model=spec.fault_model,
+        fault_params=spec.fault_params,
+        fault_schedule=spec.fault_schedule,
+        seed=spec.seed,
+    )
+    variants = {
+        variant: measure_load_point(
+            designs[variant],
+            injection_scale=spec.injection_scale,
+            max_cycles=spec.sim_cycles,
+            buffer_depth=spec.buffer_depth,
+            seed=spec.seed,
+            traffic_scenario=spec.traffic_scenario,
+            scenario_params=spec.scenario_params,
+            sim_engine=sim_engine_override or spec.sim_engine,
+            fault_schedule=schedule,
+            fault_recovery=spec.fault_recovery,
+        )
+        for variant in SIMULATED_VARIANTS
+    }
+    return _simulation_document(spec, variants, schedule)
+
+
+def _simulate_spec_batch(
+    specs: Sequence[RunSpec],
+    designs: Dict[str, NocDesign],
+    *,
+    cross_check: bool = False,
+) -> List[Dict[str, Any]]:
+    """Simulate a batch group's load points: one array program per variant.
+
+    The specs are one :func:`_plan_batches` group (shared cost bundle,
+    ``sim_cycles`` and ``buffer_depth``; no fault fields), so each design
+    variant runs all the group's lanes in a single
+    :func:`~repro.analysis.performance.measure_load_grid` call.  Returns
+    one ``simulation`` document per spec, in order, byte-identical to what
+    :func:`_simulate_spec` produces for the same spec.
+    """
+    from repro.analysis.performance import measure_load_grid  # local: lazy sim import
+
+    first = specs[0]
+    points = [
+        {
+            "injection_scale": spec.injection_scale,
+            "seed": spec.seed,
+            "traffic_scenario": spec.traffic_scenario,
+            "scenario_params": spec.scenario_params,
+        }
+        for spec in specs
+    ]
+    grids = {
+        variant: measure_load_grid(
+            designs[variant],
+            points,
+            max_cycles=first.sim_cycles,
+            buffer_depth=first.buffer_depth,
+            cross_check=cross_check,
+        )
+        for variant in SIMULATED_VARIANTS
+    }
+    documents = []
+    for lane, spec in enumerate(specs):
+        variants = {variant: grids[variant][lane] for variant in SIMULATED_VARIANTS}
+        documents.append(_simulation_document(spec, variants, None))
+    return documents
+
+
+def execute_spec_batch(
+    specs: Sequence[RunSpec],
+    cache: Optional[ArtifactCache] = None,
+    *,
+    cross_check: bool = False,
+) -> List[RunResult]:
+    """Execute one batch group of specs as a single array program.
+
+    ``specs`` must be a :func:`_plan_batches` group: batch-eligible and
+    sharing a :meth:`RunSpec.cost_fingerprint`, ``sim_cycles`` and
+    ``buffer_depth``.  Cached results are served per spec exactly as
+    :func:`execute_spec` serves them; only the misses run, batched.  The
+    returned records — and the documents written to ``cache`` — are
+    byte-identical to executing each spec alone.
+    """
+    if not specs:
+        return []
+    resolved: Dict[int, RunResult] = {}
+    missing: List[int] = []
+    for index, spec in enumerate(specs):
+        result = None
+        if cache is not None:
+            document = cache.get(RESULT_KIND, spec.fingerprint())
+            if document is not None:
+                try:
+                    result = RunResult.from_dict(document)
+                except ReproError:
+                    result = None
+        if result is not None:
+            result.cache_hit = True
+            resolved[index] = result
+        else:
+            missing.append(index)
+    if missing:
+        bundle = _resolve_costs(specs[missing[0]], cache)
+        simulations = _simulate_spec_batch(
+            [specs[index] for index in missing],
+            bundle.designs,
+            cross_check=cross_check,
+        )
+        for index, simulation in zip(missing, simulations):
+            spec = specs[index]
+            result = RunResult(spec=spec, simulation=simulation, **bundle.scalars)
+            if cache is not None:
+                cache.put(RESULT_KIND, spec.fingerprint(), result.to_dict())
+            resolved[index] = result
+    return [resolved[index] for index in range(len(specs))]
+
+
+# ----------------------------------------------------------------------
+# Batch planning
+# ----------------------------------------------------------------------
+
+
+def _batchable(spec: RunSpec) -> bool:
+    """Can this spec join a batched execution group at all?
+
+    Only specs that *ask* for the batched engine batch — the grouping must
+    never change which engine a spec's record claims.  Fault schedules and
+    fault models are out: recovery rewrites topology and routes mid-run,
+    which the shared structure-of-arrays template cannot express (the
+    engine itself falls back to ``compiled`` for those, warning once).
+    """
+    return (
+        spec.sim_engine == ENGINE_BATCHED
+        and spec.injection_scale is not None
+        and spec.fault_schedule is None
+        and spec.fault_model is None
+    )
+
+
+def _trace_horizon(spec: RunSpec) -> Optional[Tuple[str, Any]]:
+    """Replay horizon of a ``trace``-scenario spec, or ``None`` if unknowable.
+
+    An explicit trace given as a *path* would need file I/O to know its
+    horizon; planning never reads files, so it counts as unknowable.
+    """
+    trace = spec.scenario_params.get("trace")
+    if trace is None:
+        return ("synthetic", spec.scenario_params.get("trace_cycles", 3000))
+    if isinstance(trace, Mapping):
+        return ("explicit", trace.get("cycles"))
+    return None
+
+
+def _split_trace_horizons(
+    specs: Sequence[RunSpec], group: List[int]
+) -> Tuple[List[int], List[int]]:
+    """Demote a group's trace lanes when their replay horizons disagree.
+
+    Returns ``(kept, demoted)`` index lists.  A single trace lane (or
+    trace lanes all sharing one known horizon) stays in the group; mixed
+    or unknowable horizons demote every trace lane, so the batch never
+    silently runs lanes whose injection windows differ from what each
+    spec's solo execution would use.
+    """
+    trace_members = [
+        index for index in group if specs[index].traffic_scenario == "trace"
+    ]
+    if len(trace_members) <= 1:
+        return group, []
+    horizons = [_trace_horizon(specs[index]) for index in trace_members]
+    first = horizons[0]
+    if first is not None and all(horizon == first for horizon in horizons):
+        return group, []
+    kept = [index for index in group if index not in trace_members]
+    return kept, trace_members
+
+
+def _plan_batches(
+    specs: Sequence[RunSpec],
+) -> Tuple[List[List[int]], Dict[int, str]]:
+    """Group batch-eligible specs; returns ``(batches, engine_overrides)``.
+
+    ``batches`` is a list of index lists covering every spec exactly once:
+    multi-member lists are batch groups (shared
+    :meth:`RunSpec.cost_fingerprint`, ``sim_cycles``, ``buffer_depth``);
+    singletons execute through :func:`execute_spec`.  ``engine_overrides``
+    maps demoted spec indices to the engine their fallback runs on
+    (``"compiled"``), leaving their records untouched.  Deterministic:
+    groups appear in first-member order, members in plan order.
+    """
+    keyed: Dict[Any, List[int]] = {}
+    order: List[Any] = []
+    for index, spec in enumerate(specs):
+        if _batchable(spec):
+            key = (spec.cost_fingerprint(), spec.sim_cycles, spec.buffer_depth)
+        else:
+            key = ("solo", index)
+        if key not in keyed:
+            keyed[key] = []
+            order.append(key)
+        keyed[key].append(index)
+
+    batches: List[List[int]] = []
+    overrides: Dict[int, str] = {}
+    for key in order:
+        group = keyed[key]
+        demoted: List[int] = []
+        if len(group) > 1:
+            group, demoted = _split_trace_horizons(specs, group)
+            if demoted:
+                warnings.warn(
+                    structured_warning(
+                        "batched-engine-fallback",
+                        f"{len(demoted)} trace-scenario spec(s) in a batch "
+                        "group disagree on the trace replay horizon; "
+                        "falling back to per-spec 'compiled' execution "
+                        "for them",
+                    ),
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+        if len(group) > 1:
+            batches.append(group)
+        else:
+            for index in group:
+                batches.append([index])
+        for index in demoted:
+            overrides[index] = "compiled"
+            batches.append([index])
+    return batches, overrides
+
+
+def _run_batch_task(
+    task: Tuple[List[Dict[str, Any]], List[Optional[str]], Optional[str]]
+) -> List[RunResult]:
+    """Process-pool worker: one batch of spec dictionaries + cache directory.
 
     Module-level so :func:`parallel_map` can pickle it; only the small spec
-    dictionary travels to the worker, never a design or traffic object.
+    dictionaries travel to the worker, never a design or traffic object.
     """
-    spec_data, cache_dir = task
-    spec = RunSpec.from_dict(spec_data)
+    spec_dicts, engine_overrides, cache_dir = task
+    specs = [RunSpec.from_dict(data) for data in spec_dicts]
     cache = ArtifactCache(cache_dir) if cache_dir else None
-    return execute_spec(spec, cache)
+    if len(specs) == 1:
+        return [
+            execute_spec(specs[0], cache, sim_engine_override=engine_overrides[0])
+        ]
+    return execute_spec_batch(specs, cache)
 
 
 @dataclass
@@ -266,19 +635,50 @@ class Runner:
         return execute_spec(spec, self.cache)
 
     def run(self, plan: ExperimentPlan) -> PlanResult:
-        """Execute every spec of ``plan`` (deduplicated) and return results."""
+        """Execute every spec of ``plan`` (deduplicated) and return results.
+
+        Batch-eligible specs (``sim_engine: "batched"`` grids sharing a
+        cost bundle) execute as grouped array programs; everything else
+        runs per spec.  Results come back in ``plan.all_specs()`` order
+        regardless of grouping.
+        """
         specs = plan.all_specs()
+        batches, engine_overrides = _plan_batches(specs)
+        ordered: Dict[int, RunResult] = {}
         if resolve_jobs(self.jobs) <= 1 or len(specs) <= 1:
             # Serial path stays in-process so self.cache accounts hits/misses.
-            results = [execute_spec(spec, self.cache) for spec in specs]
+            for batch in batches:
+                if len(batch) == 1:
+                    index = batch[0]
+                    ordered[index] = execute_spec(
+                        specs[index],
+                        self.cache,
+                        sim_engine_override=engine_overrides.get(index),
+                    )
+                else:
+                    group_results = execute_spec_batch(
+                        [specs[index] for index in batch], self.cache
+                    )
+                    for index, result in zip(batch, group_results):
+                        ordered[index] = result
         else:
-            tasks = [(spec.to_dict(), self.cache_dir) for spec in specs]
+            tasks = [
+                (
+                    [specs[index].to_dict() for index in batch],
+                    [engine_overrides.get(index) for index in batch],
+                    self.cache_dir,
+                )
+                for batch in batches
+            ]
             attempts: List[int] = []
-            results = parallel_map(
-                _run_spec_task, tasks, jobs=self.jobs, attempts_out=attempts
+            batch_results = parallel_map(
+                _run_batch_task, tasks, jobs=self.jobs, attempts_out=attempts
             )
-            for result, tries in zip(results, attempts):
-                result.attempts = tries
+            for batch, group_results, tries in zip(batches, batch_results, attempts):
+                for index, result in zip(batch, group_results):
+                    result.attempts = tries
+                    ordered[index] = result
+        results = [ordered[index] for index in range(len(specs))]
         return PlanResult(plan=plan, results=results)
 
 

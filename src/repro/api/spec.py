@@ -81,6 +81,21 @@ and the spec's seed, so a ``seeds`` grid sweeps the model.
 ``fault_schedule`` are mutually exclusive; all three fields are elided
 from the serialized form when left at their defaults, so pre-existing
 cache addresses hold.
+
+``sim_engine: "batched"`` selects the numpy structure-of-arrays engine
+(:mod:`repro.perf.batch_engine`).  Batched specs are additionally
+*batch-eligible*: the :class:`~repro.api.runner.Runner` groups
+simulating specs that share a :meth:`RunSpec.cost_fingerprint` (same
+design, removal engine and ordering strategy) plus ``sim_cycles`` and
+``buffer_depth``, and runs each group's grid — the points of a latency
+sweep, a scenario comparison — as one array program per design variant,
+still producing one cached :class:`~repro.api.result.RunResult` per spec
+(cache layout, fingerprints and record schema are unchanged; batching is
+invisible except in wall clock).  Specs the batch cannot express fall
+back per-spec with a structured ``[noc-lint {...}]`` warning: fault
+schedules and fault models never batch (recovery rewrites routes
+mid-run), and ``trace``-scenario specs batch only when every trace lane
+of the group shares one replay horizon.
 """
 
 from __future__ import annotations
@@ -386,6 +401,28 @@ class RunSpec:
         """Content address of the full spec — the result-cache key."""
         return _canonical_hash({"format": PLAN_FORMAT_VERSION, "spec": self.to_dict()})
 
+    def _design_document(self) -> Dict[str, Any]:
+        """The synthesis-relevant subset of the spec, as a canonical mapping."""
+        return {
+            "benchmark": self.benchmark,
+            "switch_count": self.switch_count,
+            "seed": self.seed,
+            "synthesis_backend": self.synthesis_backend,
+            "routing_engine": self.routing_engine,
+            "synthesis": dict(self.synthesis),
+            # Family fields join the key only when set, so designs
+            # cached before the topology-family axis keep their
+            # addresses.
+            **(
+                {
+                    "topology_family": self.topology_family,
+                    "family_params": dict(self.family_params),
+                }
+                if self.topology_family is not None
+                else {}
+            ),
+        }
+
     def synthesis_fingerprint(self) -> str:
         """Content address of the synthesis-relevant subset of the spec.
 
@@ -396,26 +433,28 @@ class RunSpec:
         must never silently conflate a third-party engine with them.
         """
         return _canonical_hash(
+            {"format": PLAN_FORMAT_VERSION, "design": self._design_document()}
+        )
+
+    def cost_fingerprint(self) -> str:
+        """Content address of everything the *cost* pipeline depends on.
+
+        The cost side of a record — removal, ordering, power and area —
+        depends only on the synthesized design plus the removal engine and
+        ordering strategy; the simulation axis (``injection_scale``,
+        ``traffic_scenario``, ``seed``-driven traffic, fault fields) never
+        touches it.  Specs differing only along those axes — e.g. the load
+        points of one latency sweep — share this key, so the artifact
+        cache can serve one removal/ordering run to the whole sweep
+        instead of re-running removal per point on a cold cache.
+        """
+        return _canonical_hash(
             {
                 "format": PLAN_FORMAT_VERSION,
-                "design": {
-                    "benchmark": self.benchmark,
-                    "switch_count": self.switch_count,
-                    "seed": self.seed,
-                    "synthesis_backend": self.synthesis_backend,
-                    "routing_engine": self.routing_engine,
-                    "synthesis": dict(self.synthesis),
-                    # Family fields join the key only when set, so designs
-                    # cached before the topology-family axis keep their
-                    # addresses.
-                    **(
-                        {
-                            "topology_family": self.topology_family,
-                            "family_params": dict(self.family_params),
-                        }
-                        if self.topology_family is not None
-                        else {}
-                    ),
+                "costs": {
+                    **self._design_document(),
+                    "engine": self.engine,
+                    "ordering_strategy": self.ordering_strategy,
                 },
             }
         )

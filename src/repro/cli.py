@@ -378,7 +378,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--engine",
         choices=simulation_engines.names(),
         default="compiled",
-        help="simulation engine (default: compiled)",
+        help="simulation engine (default: compiled; 'batched' runs the "
+        "numpy array-program engine, one lane here, whole grids in plans)",
     )
     p.add_argument(
         "--traffic-scenario",

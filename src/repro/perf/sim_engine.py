@@ -691,3 +691,9 @@ class CompiledSimulator(Simulator):
 
 
 simulation_engines.register(ENGINE_COMPILED, CompiledSimulator)
+
+# This module is the simulation_engines registry provider: importing the
+# batched engine here (after CompiledSimulator exists — it subclasses
+# nothing here but re-uses the template and the cross-check reference)
+# makes all three built-ins register together.
+from repro.perf import batch_engine as _batch_engine  # noqa: E402,F401
